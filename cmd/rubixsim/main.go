@@ -1,0 +1,104 @@
+// Command rubixsim runs a single simulation configuration and prints its
+// results: IPC, row-buffer hit rate, hot-row census, mitigation activity,
+// and DRAM power.
+//
+// Examples:
+//
+//	rubixsim -workload lbm -mapping coffeelake -mitigation none
+//	rubixsim -workload mcf -mapping rubixs-gs4 -mitigation aqua -trh 128
+//	rubixsim -workload mix3 -mapping rubixd-gs2 -mitigation srs -scale 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rubix/internal/geom"
+	"rubix/internal/sim"
+)
+
+func main() {
+	var (
+		wl       = flag.String("workload", "gcc", "SPEC workload, mixN, or stream-{copy,scale,add,triad}")
+		mapName  = flag.String("mapping", "coffeelake", "sequential|coffeelake|skylake|mop|largestride-gsN|rubixs-gsN|rubixd-gsN|staticxor-gsN")
+		mitName  = flag.String("mitigation", "none", "none|aqua|srs|blockhammer|trr")
+		trh      = flag.Int("trh", 128, "Rowhammer threshold")
+		scale    = flag.Float64("scale", 1.0, "fraction of the 250M-instruction budget")
+		cores    = flag.Int("cores", 4, "number of cores")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		channels = flag.Int("channels", 1, "memory channels (1, 2, or 4)")
+		census   = flag.Bool("linecensus", false, "track activating lines per hot row")
+		hist     = flag.Bool("hist", false, "print the memory-latency distribution")
+	)
+	flag.Parse()
+
+	g := geom.DDR4_16GB()
+	switch *channels {
+	case 1:
+	case 2:
+		g = geom.DDR4_32GB2Ch()
+	case 4:
+		g = geom.DDR4_32GB4Ch()
+	default:
+		fmt.Fprintf(os.Stderr, "rubixsim: unsupported channel count %d\n", *channels)
+		os.Exit(2)
+	}
+
+	profiles, err := sim.ProfilesFor(*wl, *cores, g, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rubixsim:", err)
+		os.Exit(1)
+	}
+	res, err := sim.Run(sim.Config{
+		Geometry:       g,
+		TRH:            *trh,
+		MappingName:    *mapName,
+		MitigationName: *mitName,
+		Workloads:      profiles,
+		InstrPerCore:   uint64(250e6 * *scale),
+		Seed:           *seed,
+		LineCensus:     *census,
+		LatencyHist:    *hist,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rubixsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("config:        %s\n", res.Config)
+	fmt.Printf("workload:      %s on %d cores (%s)\n", *wl, *cores, g)
+	fmt.Printf("sim time:      %.2f ms (%d windows)\n", res.ElapsedNs/1e6, len(res.DRAM.Windows))
+	for i, ipc := range res.IPC {
+		fmt.Printf("core %d:        %-12s IPC %.3f\n", i, res.WorkloadNames[i], ipc)
+	}
+	fmt.Printf("mean IPC:      %.3f\n", res.MeanIPC)
+	fmt.Printf("accesses:      %d (row-buffer hit rate %.1f%%)\n", res.DRAM.Accesses, 100*res.HitRate())
+	fmt.Printf("activations:   %d demand + %d mitigation/remap\n", res.DRAM.DemandActs, res.DRAM.ExtraActs)
+	fmt.Printf("unique rows/w: %.0f\n", res.DRAM.MeanUniqueRows())
+	fmt.Printf("hot rows:      %d with ACT>=64, %d with ACT>=512\n", res.DRAM.TotalHot64(), res.DRAM.TotalHot512())
+	fmt.Printf("watchdog:      %d rows exceeded TRH=%d\n", res.DRAM.TotalOverTRH(), *trh)
+	fmt.Printf("mitigations:   %d (%s), remap swaps: %d\n", res.Mitigations, res.Mitigation, res.RemapSwaps)
+	fmt.Printf("DRAM power:    %.0f mW\n", res.PowerMW)
+
+	if *hist && res.DRAM.Latency != nil {
+		fmt.Printf("latency (ns):  %s\n", res.DRAM.Latency)
+		fmt.Print(res.DRAM.Latency.Bars(40))
+	}
+
+	if *census {
+		var buckets [3]int
+		lineSum, hot := 0, 0
+		for _, w := range res.DRAM.Windows {
+			for i := range buckets {
+				buckets[i] += w.LineBuckets[i]
+			}
+			lineSum += w.LineSum
+			hot += w.Hot64
+		}
+		if hot > 0 {
+			fmt.Printf("line census:   1-32: %d, 32-64: %d, 64-128: %d, avg %.1f lines/hot-row\n",
+				buckets[0], buckets[1], buckets[2], float64(lineSum)/float64(hot))
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Command tracegen records a workload's memory-access trace to a file, or
+// inspects an existing trace. Traces replay through the simulator exactly
+// like the live generator (see internal/trace), which makes experiments
+// portable and lets external tools consume the same streams.
+//
+// Usage:
+//
+//	tracegen -workload mcf -n 1000000 -o mcf.rbtr
+//	tracegen -dump mcf.rbtr
+//	rubixsim ... (traces can be wired in programmatically via rubix.Run)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rubix/internal/geom"
+	"rubix/internal/sim"
+	"rubix/internal/trace"
+)
+
+func main() {
+	var (
+		wl   = flag.String("workload", "gcc", "SPEC workload, mixN, or stream-* kernel")
+		n    = flag.Int("n", 1_000_000, "accesses to record")
+		out  = flag.String("o", "", "output trace file (required unless -dump)")
+		dump = flag.String("dump", "", "inspect an existing trace instead of recording")
+		seed = flag.Uint64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+
+	if *dump != "" {
+		if err := dumpTrace(*dump); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -o is required")
+		os.Exit(2)
+	}
+
+	g := geom.DDR4_16GB()
+	profiles, err := sim.ProfilesFor(*wl, 1, g, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := trace.Record(f, profiles[0].Gen, *n); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("recorded %d accesses of %s to %s\n", *n, *wl, *out)
+}
+
+func dumpTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(path, f)
+	if err != nil {
+		return err
+	}
+	var (
+		count    uint64
+		bursts   uint64
+		inBurst  uint64
+		min, max uint64
+	)
+	min = ^uint64(0)
+	for !r.Wrapped() {
+		line := r.Next()
+		if r.Wrapped() {
+			break
+		}
+		count++
+		if line < min {
+			min = line
+		}
+		if line > max {
+			max = line
+		}
+		if r.InBurst() {
+			inBurst++
+		} else {
+			bursts++
+		}
+		if count >= 1<<34 {
+			return fmt.Errorf("trace implausibly long, aborting")
+		}
+	}
+	if count == 0 {
+		fmt.Println("empty trace")
+		return nil
+	}
+	fmt.Printf("%s: %d accesses, %d bursts (mean length %.1f), line range [%#x, %#x] (%.1f MB footprint span)\n",
+		path, count, bursts, float64(count)/float64(max64(bursts, 1)),
+		min, max, float64(max-min)*64/1e6)
+	return nil
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

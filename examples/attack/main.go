@@ -1,0 +1,79 @@
+// Attack lab: drives Rowhammer access patterns against the simulated memory
+// system and checks the security invariant — no physical row may exceed
+// T_RH activations within a refresh window without a mitigative action.
+//
+// It demonstrates the paper's two security claims:
+//
+//  1. Victim-refresh TRR is NOT secure: under heavy single-sided hammering,
+//     TRR's own victim refreshes activate the neighbours thousands of times
+//     — the Half-Double effect — so rows at distance 1 blow past T_RH and
+//     hammer rows at distance 2.
+//
+//  2. The aggressor-focused schemes (AQUA, SRS, BlockHammer) hold under
+//     single-, double-, and many-sided patterns, with or without Rubix:
+//     randomizing the mapping does not weaken them (§4.10's lemmas).
+//
+//     go run ./examples/attack
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rubix"
+)
+
+func main() {
+	g := rubix.DefaultGeometry()
+	const trh = 128
+
+	fmt.Printf("Attack lab: %s, T_RH = %d, 4 attacking cores, 20M instructions each\n\n", g, trh)
+	fmt.Printf("%-14s %-12s %-12s %12s %12s %10s\n",
+		"attack", "mapping", "mitigation", "activations", "mitigations", "violations")
+
+	for _, kind := range []rubix.AttackKind{rubix.SingleSided, rubix.DoubleSided, rubix.ManySided} {
+		for _, mit := range []string{"none", "trr", "para", "dsac", "aqua", "srs", "blockhammer"} {
+			for _, mapName := range []string{"coffeelake", "rubixs-gs4"} {
+				if mit == "none" || mit == "trr" || mit == "para" || mit == "dsac" {
+					// The broken baselines only need showing once.
+					if mapName != "coffeelake" || kind != rubix.SingleSided {
+						continue
+					}
+				}
+				mapper, err := rubix.NewMapper(mapName, g, 42)
+				if err != nil {
+					log.Fatal(err)
+				}
+				profiles, err := rubix.AttackProfiles(kind, g, mapper, 4, 42)
+				if err != nil {
+					log.Fatal(err)
+				}
+				res, err := rubix.Run(rubix.Config{
+					Geometry:       g,
+					TRH:            trh,
+					MappingName:    mapName,
+					MitigationName: mit,
+					Workloads:      profiles,
+					InstrPerCore:   20_000_000,
+					Seed:           42,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				verdict := "SECURE"
+				if v := res.DRAM.TotalOverTRH(); v > 0 {
+					verdict = fmt.Sprintf("%d FLIPPABLE", v)
+				}
+				fmt.Printf("%-14s %-12s %-12s %12d %12d %10s\n",
+					kind, mapName, mit,
+					res.DRAM.DemandActs+res.DRAM.ExtraActs, res.Mitigations, verdict)
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("TRR refreshes victims instead of restraining the aggressor; those refreshes")
+	fmt.Println("are themselves activations, which is exactly the Half-Double lever. The")
+	fmt.Println("aggressor-focused schemes bound every row's activation count by construction,")
+	fmt.Println("so they stay secure under any access pattern and any memory mapping.")
+}

@@ -1,0 +1,45 @@
+// Hot-row anatomy: reproduces the paper's Figure 4 illustration — why the
+// line-to-row mapping, not the access pattern, creates hot rows.
+//
+// Three kernels with identical 4 MB footprints and 1M accesses run against
+// a simple 4 GB memory: a sequential stream, a 64-line stride, and uniform
+// random. Under the conventional sequential mapping the strided and random
+// kernels make every footprint row hot; with an encrypted line address
+// (Rubix-S, gang size 1) the same access patterns produce none.
+//
+//	go run ./examples/hotrows
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rubix"
+)
+
+func main() {
+	suite := rubix.NewSuite(rubix.Options{Scale: 1, Workloads: []string{}, Mixes: []int{}})
+	rows, err := suite.Fig4()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Figure 4: hot rows (>= 64 activations) of three kernels")
+	fmt.Println("4 GB memory, 4 KB rows, 4 MB footprint, 1M accesses")
+	fmt.Println()
+	fmt.Printf("%-12s %-14s %10s %14s\n", "kernel", "mapping", "hot rows", "analytic E[x]")
+	for _, r := range rows {
+		an := "-"
+		if r.Analytic != 0 {
+			an = fmt.Sprintf("%.2f", r.Analytic)
+		}
+		fmt.Printf("%-12s %-14s %10d %14s\n", r.Kernel, r.Mapping, r.HotRows, an)
+	}
+	fmt.Println()
+	fmt.Println("The stream kernel amortizes one activation over 64 line accesses, so even")
+	fmt.Println("the sequential mapping stays cold. The strided and random kernels activate")
+	fmt.Println("on every access; because the sequential mapping packs 64 spatially-close")
+	fmt.Println("lines into each row, all 1K footprint rows cross the 64-activation line.")
+	fmt.Println("Encrypting the line address scatters the footprint over the full 1M rows:")
+	fmt.Println("the binomial expectation of a row collecting enough lines is below one row.")
+}

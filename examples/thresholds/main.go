@@ -1,0 +1,64 @@
+// Threshold scaling: the paper's motivating trend (Figure 1a) is that the
+// Rowhammer threshold keeps falling — 139K in 2014, 4.8K in 2020, heading
+// toward a few hundred. This example sweeps T_RH and shows how each secure
+// mitigation's overhead explodes on the baseline mapping as the threshold
+// drops, and how Rubix flattens the curve (Figures 3 and 14).
+//
+//	go run ./examples/thresholds [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"rubix"
+)
+
+func main() {
+	wl := "mcf"
+	if len(os.Args) > 1 {
+		wl = os.Args[1]
+	}
+	g := rubix.DefaultGeometry()
+	const instr = 40_000_000
+
+	run := func(mapName, mit string, trh int) *rubix.Result {
+		profiles, err := rubix.Profiles(wl, 4, g, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := rubix.Run(rubix.Config{
+			Geometry:       g,
+			TRH:            trh,
+			MappingName:    mapName,
+			MitigationName: mit,
+			Workloads:      profiles,
+			InstrPerCore:   instr,
+			Seed:           42,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	base := run("coffeelake", "none", 1024).MeanIPC
+	fmt.Printf("Threshold sweep: 4x %s, normalized performance (unprotected baseline = 1.00)\n\n", wl)
+	fmt.Printf("%6s  %28s  %28s\n", "", "———— CoffeeLake ————", "——— Rubix-S (GS4/GS1) ———")
+	fmt.Printf("%6s %9s %9s %9s %9s %9s %9s\n",
+		"T_RH", "AQUA", "SRS", "BlockH", "AQUA", "SRS", "BlockH")
+	for _, trh := range []int{1024, 512, 256, 128} {
+		row := []float64{}
+		for _, cfg := range [][2]string{
+			{"coffeelake", "aqua"}, {"coffeelake", "srs"}, {"coffeelake", "blockhammer"},
+			{"rubixs-gs4", "aqua"}, {"rubixs-gs4", "srs"}, {"rubixs-gs1", "blockhammer"},
+		} {
+			row = append(row, run(cfg[0], cfg[1], trh).MeanIPC/base)
+		}
+		fmt.Printf("%6d %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f\n",
+			trh, row[0], row[1], row[2], row[3], row[4], row[5])
+	}
+	fmt.Println("\nOn the conventional mapping, overheads compound as the threshold falls;")
+	fmt.Println("with Rubix the mitigations barely fire at any threshold, so the columns stay flat.")
+}

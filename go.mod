@@ -1,0 +1,3 @@
+module rubix
+
+go 1.22

@@ -1,0 +1,80 @@
+// Package analytic provides the closed-form model behind Figure 4: how many
+// rows become hot when a workload's footprint is scattered over memory by a
+// randomized line-to-row mapping.
+//
+// Throwing L lines uniformly into R rows, the number of footprint lines in
+// a given row is Binomial(L, 1/R); the paper's estimates (61.5K rows with
+// exactly one line, 1.9K with two, 40 with three for L = 64K, R = 1M)
+// follow directly.
+package analytic
+
+import "math"
+
+// RowsWithExactly returns the expected number of rows containing exactly k
+// of the L footprint lines when lines are mapped uniformly into R rows.
+func RowsWithExactly(lines, rows uint64, k int) float64 {
+	if rows == 0 {
+		return 0
+	}
+	p := 1 / float64(rows)
+	return float64(rows) * binomPMF(float64(lines), p, k)
+}
+
+// RowsWithAtLeast returns the expected number of rows containing at least k
+// footprint lines.
+func RowsWithAtLeast(lines, rows uint64, k int) float64 {
+	if rows == 0 {
+		return 0
+	}
+	p := 1 / float64(rows)
+	// Sum the complement up to k-1; the tail beyond ~60 terms is negligible
+	// for the sparse regimes this model is used in.
+	cum := 0.0
+	for i := 0; i < k; i++ {
+		cum += binomPMF(float64(lines), p, i)
+	}
+	tail := 1 - cum
+	if tail < 0 {
+		tail = 0
+	}
+	return float64(rows) * tail
+}
+
+// binomPMF computes C(n, k) p^k (1-p)^(n-k) in log space for stability at
+// large n and tiny p.
+func binomPMF(n, p float64, k int) float64 {
+	if k < 0 || float64(k) > n {
+		return 0
+	}
+	kf := float64(k)
+	logC := lgamma(n+1) - lgamma(kf+1) - lgamma(n-kf+1)
+	logPMF := logC + kf*math.Log(p) + (n-kf)*math.Log1p(-p)
+	return math.Exp(logPMF)
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// HotRows estimates the expected number of hot rows for a kernel that makes
+// `accesses` accesses spread uniformly over a footprint of `lines` lines
+// mapped randomly into `rows` rows, with hotness threshold `threshold`
+// activations and `actsPerLineAccess` activations per access (1 for a
+// random kernel with no locality; 1/rowBufferReuse for kernels with
+// row-buffer hits).
+//
+// A row holding k footprint lines receives approximately
+// k × accesses/lines × actsPerLineAccess activations, so it is hot when
+// k ≥ threshold × lines / (accesses × actsPerLineAccess).
+func HotRows(accesses, lines, rows uint64, threshold int, actsPerLineAccess float64) float64 {
+	if lines == 0 || accesses == 0 || actsPerLineAccess <= 0 {
+		return 0
+	}
+	actsPerLine := float64(accesses) / float64(lines) * actsPerLineAccess
+	kMin := int(math.Ceil(float64(threshold) / actsPerLine))
+	if kMin < 1 {
+		kMin = 1
+	}
+	return RowsWithAtLeast(lines, rows, kMin)
+}

@@ -1,0 +1,101 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperFigure4Estimates(t *testing.T) {
+	// §4.1: 64K lines into 1M rows: 61.5K rows with exactly 1 line,
+	// 1.9K with 2, 40 with 3, none with 4+.
+	const lines = 64 * 1024
+	const rows = 1024 * 1024
+	one := RowsWithExactly(lines, rows, 1)
+	if math.Abs(one-61500) > 1000 {
+		t.Fatalf("rows with 1 line = %.0f, paper says ~61.5K", one)
+	}
+	two := RowsWithExactly(lines, rows, 2)
+	if math.Abs(two-1900) > 150 {
+		t.Fatalf("rows with 2 lines = %.0f, paper says ~1.9K", two)
+	}
+	three := RowsWithExactly(lines, rows, 3)
+	if math.Abs(three-40) > 10 {
+		t.Fatalf("rows with 3 lines = %.0f, paper says ~40", three)
+	}
+	four := RowsWithAtLeast(lines, rows, 4)
+	if four > 2 {
+		t.Fatalf("rows with 4+ lines = %.2f, paper says none", four)
+	}
+}
+
+func TestPMFSumsToRows(t *testing.T) {
+	const lines = 1000
+	const rows = 500
+	sum := 0.0
+	for k := 0; k <= 30; k++ {
+		sum += RowsWithExactly(lines, rows, k)
+	}
+	if math.Abs(sum-rows) > 1 {
+		t.Fatalf("PMF over k sums to %.2f rows, want %d", sum, rows)
+	}
+}
+
+func TestAtLeastMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for k := 0; k < 10; k++ {
+		v := RowsWithAtLeast(64*1024, 1024*1024, k)
+		if v > prev {
+			t.Fatalf("RowsWithAtLeast not monotone at k=%d", k)
+		}
+		prev = v
+	}
+	if RowsWithAtLeast(100, 100, 0) != 100 {
+		t.Fatal("k=0 must return all rows")
+	}
+}
+
+func TestHotRowsRandomKernel(t *testing.T) {
+	// §4.1 random kernel: 1M accesses over 64K lines into 1M rows with one
+	// activation per access; expected hot rows (>= 64 ACTs) below one row.
+	hot := HotRows(1_000_000, 64*1024, 1024*1024, 64, 1)
+	if hot > 1 {
+		t.Fatalf("expected hot rows %.3f, paper estimates < 1", hot)
+	}
+	if hot <= 0 {
+		t.Fatal("expectation should be positive (just tiny)")
+	}
+}
+
+func TestHotRowsSequentialBaselineContrast(t *testing.T) {
+	// Under the sequential mapping the same kernel makes all 1K footprint
+	// rows hot; the randomized expectation must be orders of magnitude
+	// below that.
+	hot := HotRows(1_000_000, 64*1024, 1024*1024, 64, 1)
+	if hot > 1000.0/100 {
+		t.Fatalf("randomized hot rows %.2f not orders below the 1000 of the baseline", hot)
+	}
+}
+
+func TestHotRowsEdgeCases(t *testing.T) {
+	if HotRows(0, 100, 100, 64, 1) != 0 {
+		t.Fatal("no accesses, no hot rows")
+	}
+	if HotRows(100, 0, 100, 64, 1) != 0 {
+		t.Fatal("no footprint, no hot rows")
+	}
+	if HotRows(100, 100, 100, 64, 0) != 0 {
+		t.Fatal("zero activation ratio, no hot rows")
+	}
+}
+
+func TestBinomPMFStability(t *testing.T) {
+	// Large n, tiny p must not overflow or NaN.
+	v := binomPMF(1e9, 1e-9, 2)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("binomPMF unstable: %v", v)
+	}
+	// Poisson(1) approximation: P(2) ≈ e^-1/2 ≈ 0.1839.
+	if math.Abs(v-0.1839) > 0.01 {
+		t.Fatalf("binomPMF(1e9, 1e-9, 2) = %v, want ~0.1839", v)
+	}
+}

@@ -1,0 +1,114 @@
+// Package cache implements a set-associative, write-back last-level cache
+// with LRU replacement — the 8 MB / 16-way shared LLC of the paper's
+// baseline (Table 1). The main experiment pipeline drives the memory system
+// with calibrated miss traces directly; the cache is used by the
+// full-pipeline examples and by tests that validate the miss-trace
+// abstraction.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Line states. The cache stores line addresses (byte address / line size).
+type way struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // last-use stamp
+}
+
+// Cache is a set-associative LRU cache over line addresses.
+type Cache struct {
+	sets     int
+	ways     int
+	setMask  uint64
+	setBits  uint
+	data     []way // sets × ways
+	stamp    uint64
+	accesses uint64
+	misses   uint64
+	wbacks   uint64
+}
+
+// New builds a cache of capacityBytes with the given associativity and line
+// size. capacityBytes/(lineBytes×ways) must be a power of two.
+func New(capacityBytes, lineBytes, ways int) (*Cache, error) {
+	if capacityBytes <= 0 || lineBytes <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("cache: non-positive parameter")
+	}
+	lines := capacityBytes / lineBytes
+	sets := lines / ways
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: %d sets is not a positive power of two", sets)
+	}
+	return &Cache{
+		sets:    sets,
+		ways:    ways,
+		setMask: uint64(sets) - 1,
+		setBits: uint(bits.TrailingZeros64(uint64(sets))),
+		data:    make([]way, sets*ways),
+	}, nil
+}
+
+// Result reports the outcome of one access.
+type Result struct {
+	Hit       bool
+	Writeback bool   // an eviction wrote a dirty victim back to memory
+	Victim    uint64 // line address of the written-back victim
+}
+
+// Access looks up the line address, allocating on miss. write marks the
+// line dirty. The returned Result identifies any dirty victim that must be
+// written back to memory.
+func (c *Cache) Access(line uint64, write bool) Result {
+	c.accesses++
+	c.stamp++
+	set := line & c.setMask
+	tag := line >> c.setBits
+	base := int(set) * c.ways
+	victim := base
+	for i := base; i < base+c.ways; i++ {
+		w := &c.data[i]
+		if w.valid && w.tag == tag {
+			w.lru = c.stamp
+			if write {
+				w.dirty = true
+			}
+			return Result{Hit: true}
+		}
+		if !w.valid {
+			victim = i
+		} else if c.data[victim].valid && w.lru < c.data[victim].lru {
+			victim = i
+		}
+	}
+	c.misses++
+	w := &c.data[victim]
+	res := Result{}
+	if w.valid && w.dirty {
+		res.Writeback = true
+		res.Victim = w.tag<<c.setBits | set
+		c.wbacks++
+	}
+	*w = way{tag: tag, valid: true, dirty: write, lru: c.stamp}
+	return res
+}
+
+// Accesses reports the total accesses.
+func (c *Cache) Accesses() uint64 { return c.accesses }
+
+// Misses reports the total misses.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// Writebacks reports the total dirty writebacks.
+func (c *Cache) Writebacks() uint64 { return c.wbacks }
+
+// MissRate reports misses/accesses.
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}

@@ -1,0 +1,115 @@
+package cache
+
+import (
+	"testing"
+
+	"rubix/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(8<<20, 64, 16); err != nil {
+		t.Fatalf("paper LLC config rejected: %v", err)
+	}
+	if _, err := New(0, 64, 16); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := New(3<<20, 64, 16); err == nil {
+		t.Fatal("non-power-of-two sets accepted")
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c, _ := New(1<<20, 64, 8)
+	if c.Access(42, false).Hit {
+		t.Fatal("cold cache cannot hit")
+	}
+	if !c.Access(42, false).Hit {
+		t.Fatal("second access must hit")
+	}
+	if c.Accesses() != 2 || c.Misses() != 1 {
+		t.Fatalf("acc/miss = %d/%d", c.Accesses(), c.Misses())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way tiny cache: sets = 64/64/2... build 2 sets x 2 ways.
+	c, err := New(4*64, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three lines in set 0 (even line addresses): 0, 2, 4.
+	c.Access(0, false)
+	c.Access(2, false)
+	c.Access(0, false) // touch 0, making 2 the LRU
+	c.Access(4, false) // evicts 2
+	if !c.Access(0, false).Hit {
+		t.Fatal("0 should have survived")
+	}
+	if c.Access(2, false).Hit {
+		t.Fatal("2 should have been evicted as LRU")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	c, _ := New(4*64, 64, 2)
+	c.Access(0, true) // dirty
+	c.Access(2, false)
+	res := c.Access(4, false) // evicts 0 (LRU, dirty)
+	if !res.Writeback || res.Victim != 0 {
+		t.Fatalf("expected writeback of line 0, got %+v", res)
+	}
+	if c.Writebacks() != 1 {
+		t.Fatal("writeback not counted")
+	}
+	// Clean evictions produce no writeback.
+	c2, _ := New(4*64, 64, 2)
+	c2.Access(0, false)
+	c2.Access(2, false)
+	if c2.Access(4, false).Writeback {
+		t.Fatal("clean eviction wrote back")
+	}
+}
+
+func TestWriteHitMarksDirty(t *testing.T) {
+	c, _ := New(4*64, 64, 2)
+	c.Access(0, false)
+	c.Access(0, true) // dirty via write hit
+	c.Access(2, false)
+	res := c.Access(4, false)
+	if !res.Writeback {
+		t.Fatal("write-hit dirtiness lost")
+	}
+}
+
+func TestSetIsolation(t *testing.T) {
+	c, _ := New(4*64, 64, 2) // 2 sets
+	// Odd lines go to set 1; filling set 0 must not evict them.
+	c.Access(1, false)
+	for i := uint64(0); i < 10; i += 2 {
+		c.Access(i, false)
+	}
+	if !c.Access(1, false).Hit {
+		t.Fatal("set 0 traffic evicted a set-1 line")
+	}
+}
+
+func TestMissRateConverges(t *testing.T) {
+	// Working set half the cache: after warmup, ~0 misses.
+	c, _ := New(1<<16, 64, 8) // 1024 lines
+	r := rng.NewXoshiro256(1)
+	for i := 0; i < 50000; i++ {
+		c.Access(uint64(r.Intn(512)), false)
+	}
+	warmMisses := c.Misses()
+	if warmMisses > 600 {
+		t.Fatalf("working set misses = %d, want ~512", warmMisses)
+	}
+	// Working set 4x the cache: high miss rate.
+	c2, _ := New(1<<16, 64, 8)
+	for i := 0; i < 50000; i++ {
+		c2.Access(uint64(r.Intn(4096)), false)
+	}
+	if mr := c2.MissRate(); mr < 0.5 {
+		t.Fatalf("thrashing miss rate %.2f, want > 0.5", mr)
+	}
+}

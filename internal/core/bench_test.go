@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"rubix/internal/geom"
+	"rubix/internal/kcipher"
+)
+
+func BenchmarkRubixSMap(b *testing.B) {
+	g := geom.DDR4_16GB()
+	m, err := NewRubixS(g, 4, kcipher.KeyFromSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mask := g.TotalLines() - 1
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink ^= m.Map(uint64(i) & mask)
+	}
+	_ = sink
+}
+
+func BenchmarkRubixDMap(b *testing.B) {
+	g := geom.DDR4_16GB()
+	m, err := NewRubixD(g, RubixDConfig{GangSize: 4, RemapRate: 0.01, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mask := g.TotalLines() - 1
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink ^= m.Map(uint64(i) & mask)
+	}
+	_ = sink
+}
+
+func BenchmarkRubixDNoteActivation(b *testing.B) {
+	g := geom.DDR4_16GB()
+	m, err := NewRubixD(g, RubixDConfig{GangSize: 4, RemapRate: 0.01, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mask := g.TotalLines() - 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.NoteActivation(uint64(i) & mask)
+	}
+}
+
+func BenchmarkStaticXORMap(b *testing.B) {
+	g := geom.DDR4_16GB()
+	m, err := NewStaticXOR(g, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mask := g.TotalLines() - 1
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink ^= m.Map(uint64(i) & mask)
+	}
+	_ = sink
+}

@@ -1,0 +1,168 @@
+package cpu
+
+import (
+	"testing"
+
+	"rubix/internal/workload"
+)
+
+// fixedGen emits a fixed address with configurable burst grouping.
+type fixedGen struct {
+	burst   bool
+	next    uint64
+	stride  uint64
+	issued  int
+	inGroup int
+	group   int
+}
+
+func (f *fixedGen) Name() string { return "fixed" }
+func (f *fixedGen) Next() uint64 {
+	a := f.next
+	f.next += f.stride
+	f.issued++
+	f.inGroup++
+	if f.group > 0 && f.inGroup >= f.group {
+		f.inGroup = 0
+	}
+	return a
+}
+func (f *fixedGen) InBurst() bool {
+	if f.group <= 0 {
+		return f.burst
+	}
+	return f.inGroup != 0
+}
+
+// flatMemory returns a fixed latency.
+func flatMemory(lat float64) AccessFunc {
+	return func(_ uint64, arrival float64) float64 { return arrival + lat }
+}
+
+func TestRetiresTarget(t *testing.T) {
+	p := workload.Profile{Gen: &fixedGen{}, MPKI: 10, MLP: 1}
+	c := New(0, DefaultConfig(), p, 100000, 1)
+	for !c.Done() {
+		c.Step(flatMemory(50))
+	}
+	if c.Retired < 100000 {
+		t.Fatalf("retired %d, want >= 100000", c.Retired)
+	}
+	if c.Retired > 150000 {
+		t.Fatalf("retired %d overshoots target wildly", c.Retired)
+	}
+}
+
+func TestIPCComputeBound(t *testing.T) {
+	// Negligible miss rate: IPC approaches 1/BaseCPI.
+	p := workload.Profile{Gen: &fixedGen{}, MPKI: 0.001, MLP: 1}
+	c := New(0, DefaultConfig(), p, 2_000_000, 1)
+	for !c.Done() {
+		c.Step(flatMemory(50))
+	}
+	if ipc := c.IPC(); ipc < 2.3 || ipc > 2.55 {
+		t.Fatalf("compute-bound IPC %.2f, want ~2.5 (CPI 0.4)", ipc)
+	}
+}
+
+func TestIPCMemoryBoundSerial(t *testing.T) {
+	// MLP 1 (serial): each miss stalls for the full latency.
+	p := workload.Profile{Gen: &fixedGen{}, MPKI: 10, MLP: 1}
+	c := New(0, DefaultConfig(), p, 1_000_000, 1)
+	for !c.Done() {
+		c.Step(flatMemory(100))
+	}
+	// Per 100 instructions: 100*0.1333 ns compute + 1 miss * 100 ns.
+	wantIPC := 100.0 / ((100*0.4/3 + 100) * 3)
+	got := c.IPC()
+	if got < 0.9*wantIPC || got > 1.1*wantIPC {
+		t.Fatalf("serial IPC %.3f, want ~%.3f", got, wantIPC)
+	}
+}
+
+func TestMLPHidesLatency(t *testing.T) {
+	// Same miss rate, but bursts of 8 overlapped misses with a deep
+	// pipeline: the 100 ns latency should be mostly hidden.
+	serial := workload.Profile{Gen: &fixedGen{}, MPKI: 10, MLP: 1}
+	cs := New(0, DefaultConfig(), serial, 1_000_000, 1)
+	for !cs.Done() {
+		cs.Step(flatMemory(100))
+	}
+	pipelined := workload.Profile{Gen: &fixedGen{burst: true}, MPKI: 10, MLP: 8}
+	cp := New(0, DefaultConfig(), pipelined, 1_000_000, 1)
+	for !cp.Done() {
+		cp.Step(flatMemory(100))
+	}
+	if cp.IPC() < 3*cs.IPC() {
+		t.Fatalf("MLP 8 IPC %.3f not much better than serial %.3f", cp.IPC(), cs.IPC())
+	}
+}
+
+func TestBatchRespectsMLPCap(t *testing.T) {
+	gen := &fixedGen{burst: true} // endless burst
+	p := workload.Profile{Gen: gen, MPKI: 100, MLP: 4}
+	c := New(0, DefaultConfig(), p, 10_000, 1)
+	issues := map[float64]int{}
+	for !c.Done() {
+		c.Step(func(_ uint64, arrival float64) float64 {
+			issues[arrival]++
+			return arrival + 10
+		})
+	}
+	for at, n := range issues {
+		if n > 4 {
+			t.Fatalf("%d misses issued at t=%.1f, MLP cap is 4", n, at)
+		}
+	}
+}
+
+func TestBurstBoundaryEndsBatch(t *testing.T) {
+	gen := &fixedGen{group: 2} // bursts of exactly 2
+	p := workload.Profile{Gen: gen, MPKI: 100, MLP: 8}
+	c := New(0, DefaultConfig(), p, 10_000, 1)
+	issues := map[float64]int{}
+	for !c.Done() {
+		c.Step(func(_ uint64, arrival float64) float64 {
+			issues[arrival]++
+			return arrival + 10
+		})
+	}
+	for at, n := range issues {
+		if n > 2 {
+			t.Fatalf("%d misses at t=%.1f crossed a burst boundary", n, at)
+		}
+	}
+}
+
+func TestMissRateMatchesMPKI(t *testing.T) {
+	gen := &fixedGen{}
+	p := workload.Profile{Gen: gen, MPKI: 5, MLP: 1}
+	c := New(0, DefaultConfig(), p, 4_000_000, 1)
+	misses := 0
+	for !c.Done() {
+		c.Step(func(_ uint64, arrival float64) float64 {
+			misses++
+			return arrival + 20
+		})
+	}
+	mpki := float64(misses) / float64(c.Retired) * 1000
+	if mpki < 4.5 || mpki > 5.5 {
+		t.Fatalf("achieved MPKI %.2f, want ~5", mpki)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, float64) {
+		p := workload.Profile{Gen: &fixedGen{}, MPKI: 10, MLP: 4}
+		c := New(0, DefaultConfig(), p, 100_000, 42)
+		for !c.Done() {
+			c.Step(flatMemory(30))
+		}
+		return c.Retired, c.Now
+	}
+	r1, n1 := run()
+	r2, n2 := run()
+	if r1 != r2 || n1 != n2 {
+		t.Fatal("same seed must replay identically")
+	}
+}

@@ -1,0 +1,49 @@
+package dram
+
+import (
+	"testing"
+
+	"rubix/internal/geom"
+	"rubix/internal/rng"
+)
+
+func BenchmarkAccessRowHits(b *testing.B) {
+	m := New(Config{Geometry: geom.DDR4_16GB(), Timing: DDR4_2400()})
+	now := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := m.Access(uint64(i&63), now)
+		now = res.Completion
+	}
+}
+
+func BenchmarkAccessRandom(b *testing.B) {
+	m := New(Config{Geometry: geom.DDR4_16GB(), Timing: DDR4_2400()})
+	r := rng.NewXoshiro256(1)
+	total := m.Geom.TotalLines()
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = r.Uint64n(total)
+	}
+	now := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := m.Access(addrs[i&4095], now)
+		now = res.Completion
+	}
+}
+
+func BenchmarkAccessWithWatchdog(b *testing.B) {
+	m := New(Config{Geometry: geom.DDR4_16GB(), Timing: DDR4_2400(), TRH: 128, LineCensus: true})
+	r := rng.NewXoshiro256(2)
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = r.Uint64n(1 << 20) // concentrated footprint
+	}
+	now := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := m.Access(addrs[i&4095], now)
+		now = res.Completion
+	}
+}

@@ -1,0 +1,100 @@
+package dram
+
+import (
+	"testing"
+
+	"rubix/internal/geom"
+)
+
+func TestRefreshStallsBank(t *testing.T) {
+	tm := DDR4_2400().WithRefresh()
+	m := New(Config{Geometry: geom.DDR4_16GB(), Timing: tm})
+	g := m.Geom
+	// An access arriving just after a refresh deadline waits out tRFC.
+	res := m.Access(lineAt(g, 0, 0), tm.TREFI+1)
+	if res.Completion < tm.TREFI+tm.TRFC {
+		t.Fatalf("access completed at %.0f during refresh until %.0f",
+			res.Completion, tm.TREFI+tm.TRFC)
+	}
+}
+
+func TestRefreshClosesOpenRow(t *testing.T) {
+	tm := DDR4_2400().WithRefresh()
+	m := New(Config{Geometry: geom.DDR4_16GB(), Timing: tm})
+	g := m.Geom
+	m.Access(lineAt(g, 0, 0), 0)
+	// Same row after the refresh deadline: must re-activate.
+	res := m.Access(lineAt(g, 0, 1), tm.TREFI+tm.TRFC+1)
+	if res.RowHit {
+		t.Fatal("row survived a refresh")
+	}
+}
+
+func TestRefreshCatchesUpMultipleIntervals(t *testing.T) {
+	tm := DDR4_2400().WithRefresh()
+	m := New(Config{Geometry: geom.DDR4_16GB(), Timing: tm})
+	g := m.Geom
+	// Jump ten intervals ahead; internal state must advance without loops
+	// hanging or stalling the access behind ten refreshes.
+	at := 10*tm.TREFI + 10
+	res := m.Access(lineAt(g, 0, 0), at)
+	if res.Completion > at+tm.TRFC+3*tm.TRC {
+		t.Fatalf("catch-up refresh overcharged: %.0f for arrival %.0f", res.Completion, at)
+	}
+}
+
+func TestRefreshDisabledByDefault(t *testing.T) {
+	tm := DDR4_2400()
+	if tm.TREFI != 0 {
+		t.Fatal("refresh should be opt-in (uniform tax cancels in normalized results)")
+	}
+}
+
+func TestWriteRecoveryChargedOnConflict(t *testing.T) {
+	tm := DDR4_2400()
+	m := New(Config{Geometry: geom.DDR4_16GB(), Timing: tm})
+	g := m.Geom
+	r1 := uint64(3)
+	r2 := r1 + uint64(g.BanksTotal())
+
+	// Read case.
+	a := m.Access(lineAt(g, r1, 0), 0)
+	readConf := m.Access(lineAt(g, r2, 0), a.Completion+1000)
+
+	// Write case on a fresh module.
+	m2 := New(Config{Geometry: geom.DDR4_16GB(), Timing: tm})
+	b := m2.AccessRW(lineAt(g, r1, 0), 0, true)
+	writeConf := m2.Access(lineAt(g, r2, 0), b.Completion+1000)
+
+	readLat := readConf.Completion - (a.Completion + 1000)
+	writeLat := writeConf.Completion - (b.Completion + 1000)
+	if writeLat-readLat < tm.TWR-0.01 {
+		t.Fatalf("write recovery not charged: read conflict %.1f vs write conflict %.1f", readLat, writeLat)
+	}
+}
+
+func TestWriteCASCounted(t *testing.T) {
+	m := New(Config{Geometry: geom.DDR4_16GB(), Timing: DDR4_2400()})
+	g := m.Geom
+	m.AccessRW(lineAt(g, 1, 0), 0, true)
+	m.AccessRW(lineAt(g, 1, 1), 100, false)
+	s := m.Finalize()
+	if s.WriteCAS != 1 || s.Accesses != 2 {
+		t.Fatalf("writes/accesses = %d/%d, want 1/2", s.WriteCAS, s.Accesses)
+	}
+}
+
+func TestWriteRecoveryOnOpenAdaptiveClose(t *testing.T) {
+	tm := DDR4_2400()
+	tm.OpenMax = 2
+	m := New(Config{Geometry: geom.DDR4_16GB(), Timing: tm})
+	g := m.Geom
+	m.AccessRW(lineAt(g, 1, 0), 0, true)
+	second := m.Access(lineAt(g, 1, 1), 50) // closes the row (OpenMax 2)
+	// Next access to the same bank must wait tRP+tWR past the close.
+	res := m.Access(lineAt(g, 1, 2), second.Completion)
+	if res.ActStart < second.Completion+tm.TWR-tm.TCL {
+		t.Fatalf("write recovery skipped on adaptive close: act at %.1f after CAS %.1f",
+			res.ActStart, second.Completion)
+	}
+}

@@ -1,0 +1,136 @@
+// Package kcipher implements a low-latency programmable bit-width block
+// cipher in the spirit of K-Cipher (Kounavis et al., ISCC 2020), which
+// Rubix-S uses for address-space randomization.
+//
+// The construction is an (un)balanced Feistel network over an n-bit domain
+// (4 <= n <= 40) keyed with 96 bits. A Feistel network is a permutation of
+// its domain for any round function, so every width yields an exact
+// bijection — the property Rubix needs: every program line address maps to
+// exactly one physical line address and vice versa.
+//
+// This is a *simulation stand-in*, not a cryptographic implementation: the
+// round function is the splitmix64 finalizer keyed per round, which has
+// excellent avalanche behaviour but no formal security analysis. The
+// simulator only requires a keyed pseudo-random bijection; hardware would
+// ship the real K-Cipher at a 3-cycle latency, which the performance model
+// accounts for separately.
+package kcipher
+
+import (
+	"fmt"
+
+	"rubix/internal/rng"
+)
+
+// MinBits and MaxBits bound the supported cipher width. The paper's 16 GB
+// configuration uses 28 bits (26 at gang size 4); the multi-channel
+// configurations use up to 29.
+const (
+	MinBits = 4
+	MaxBits = 40
+)
+
+// Rounds is the number of Feistel rounds. Six rounds of a strong round
+// function give full diffusion; we use eight for margin.
+const Rounds = 8
+
+// Key is the 96-bit cipher key.
+type Key [3]uint32
+
+// KeyFromSeed derives a Key from a 64-bit seed using SplitMix64, mirroring
+// the paper's boot-time PRNG key generation.
+func KeyFromSeed(seed uint64) Key {
+	sm := rng.NewSplitMix64(seed)
+	a, b := sm.Next(), sm.Next()
+	return Key{uint32(a), uint32(a >> 32), uint32(b)}
+}
+
+// Cipher is a keyed bijection over [0, 2^n). It is immutable after
+// construction and safe for concurrent use.
+type Cipher struct {
+	bits      uint
+	leftBits  uint
+	rightBits uint
+	leftMask  uint64
+	rightMask uint64
+	roundKeys [Rounds]uint64
+}
+
+// New constructs a Cipher of width bits keyed by key.
+func New(bits uint, key Key) (*Cipher, error) {
+	if bits < MinBits || bits > MaxBits {
+		return nil, fmt.Errorf("kcipher: width %d out of range [%d, %d]", bits, MinBits, MaxBits)
+	}
+	c := &Cipher{bits: bits}
+	c.rightBits = bits / 2
+	c.leftBits = bits - c.rightBits // left gets the extra bit for odd widths
+	c.leftMask = (uint64(1) << c.leftBits) - 1
+	c.rightMask = (uint64(1) << c.rightBits) - 1
+	// Round-key schedule: expand the 96-bit key with SplitMix64 seeded by a
+	// mix of the key words and the width (so the same key at different
+	// widths yields unrelated permutations, as with a real parameterizable
+	// cipher).
+	seed := uint64(key[0]) | uint64(key[1])<<32
+	seed = rng.Mix64(seed ^ uint64(key[2])<<13 ^ uint64(bits)*0x9e3779b97f4a7c15)
+	sm := rng.NewSplitMix64(seed)
+	for i := range c.roundKeys {
+		c.roundKeys[i] = sm.Next()
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on error; for static configurations.
+func MustNew(bits uint, key Key) *Cipher {
+	c, err := New(bits, key)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Bits reports the cipher width.
+func (c *Cipher) Bits() uint { return c.bits }
+
+// Domain reports the size of the cipher domain, 2^bits.
+func (c *Cipher) Domain() uint64 { return uint64(1) << c.bits }
+
+func (c *Cipher) round(x uint64, k uint64) uint64 {
+	return rng.Mix64(x ^ k)
+}
+
+// Encrypt maps plaintext x (< 2^bits) to its ciphertext. It panics if x is
+// out of domain, since an out-of-range address indicates a simulator bug.
+func (c *Cipher) Encrypt(x uint64) uint64 {
+	if x >= c.Domain() {
+		panic(fmt.Sprintf("kcipher: plaintext %#x out of %d-bit domain", x, c.bits))
+	}
+	l := x >> c.rightBits & c.leftMask
+	r := x & c.rightMask
+	// Unbalanced Feistel: alternate which half is modified so both halves
+	// are diffused even when their widths differ.
+	for i := 0; i < Rounds; i++ {
+		if i%2 == 0 {
+			l ^= c.round(r, c.roundKeys[i]) & c.leftMask
+		} else {
+			r ^= c.round(l, c.roundKeys[i]) & c.rightMask
+		}
+	}
+	return l<<c.rightBits | r
+}
+
+// Decrypt inverts Encrypt.
+func (c *Cipher) Decrypt(y uint64) uint64 {
+	if y >= c.Domain() {
+		panic(fmt.Sprintf("kcipher: ciphertext %#x out of %d-bit domain", y, c.bits))
+	}
+	l := y >> c.rightBits & c.leftMask
+	r := y & c.rightMask
+	for i := Rounds - 1; i >= 0; i-- {
+		if i%2 == 0 {
+			l ^= c.round(r, c.roundKeys[i]) & c.leftMask
+		} else {
+			r ^= c.round(l, c.roundKeys[i]) & c.rightMask
+		}
+	}
+	return l<<c.rightBits | r
+}

@@ -1,0 +1,41 @@
+package mapping
+
+import (
+	"testing"
+
+	"rubix/internal/geom"
+)
+
+func benchMapper(b *testing.B, m Mapper) {
+	b.Helper()
+	g := geom.DDR4_16GB()
+	mask := g.TotalLines() - 1
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink ^= m.Map(uint64(i) & mask)
+	}
+	_ = sink
+}
+
+func BenchmarkMapSequential(b *testing.B) { benchMapper(b, NewSequential()) }
+
+func BenchmarkMapCoffeeLake(b *testing.B) { benchMapper(b, NewCoffeeLake(geom.DDR4_16GB())) }
+
+func BenchmarkMapSkylake(b *testing.B) {
+	m, err := NewSkylake(geom.DDR4_16GB())
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchMapper(b, m)
+}
+
+func BenchmarkMapMOP(b *testing.B) { benchMapper(b, NewMOP(geom.DDR4_16GB())) }
+
+func BenchmarkMapLargeStride(b *testing.B) {
+	m, err := NewLargeStride(geom.DDR4_16GB(), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchMapper(b, m)
+}

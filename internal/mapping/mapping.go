@@ -1,0 +1,343 @@
+// Package mapping defines the memory-mapping interface and the baseline
+// (non-randomized) line-to-row mappings the paper evaluates against:
+// Sequential, Intel Coffee Lake, Intel Skylake, Minimalist Open-Page (MOP),
+// and the cipher-free large-stride design of §6.1.
+//
+// A Mapper is a bijection from program line addresses to physical line
+// indexes; package geom defines how a physical line index decomposes into
+// (channel, rank, bank, row, slot). The Rubix mappings themselves live in
+// package core, since they are the paper's contribution.
+package mapping
+
+import (
+	"fmt"
+
+	"rubix/internal/geom"
+)
+
+// Mapper translates a program line address into a physical line index.
+// Implementations must be bijections over [0, g.TotalLines()).
+type Mapper interface {
+	// Name identifies the mapping in reports (e.g. "CoffeeLake").
+	Name() string
+	// Map translates a program line address to a physical line index.
+	Map(line uint64) uint64
+}
+
+// Inverter is implemented by mappers that can translate back from physical
+// line index to program line address. All mappers in this repository
+// implement it; it is used by property tests and by row-migration
+// bookkeeping.
+type Inverter interface {
+	Unmap(phys uint64) uint64
+}
+
+// xorFold XORs the bits of v above width down onto the low width bits,
+// producing a simple XOR-hash as used by Intel bank-selection functions.
+func xorFold(v uint64, width uint) uint64 {
+	if width == 0 {
+		return 0
+	}
+	mask := (uint64(1) << width) - 1
+	h := uint64(0)
+	for v != 0 {
+		h ^= v & mask
+		v >>= width
+	}
+	return h
+}
+
+// --- Sequential ------------------------------------------------------------
+
+// Sequential is the identity mapping: consecutive lines fill a row, then the
+// next global row. It is the mapping of the Figure 4 illustrative model
+// ("sequential mapping that places the 4KB page within the same row").
+type Sequential struct{}
+
+// NewSequential returns the identity mapping.
+func NewSequential() Sequential { return Sequential{} }
+
+// Name implements Mapper.
+func (Sequential) Name() string { return "Sequential" }
+
+// Map implements Mapper.
+func (Sequential) Map(line uint64) uint64 { return line }
+
+// Unmap implements Inverter.
+func (Sequential) Unmap(phys uint64) uint64 { return phys }
+
+// --- Coffee Lake -----------------------------------------------------------
+
+// CoffeeLake models the Intel Coffee Lake mapping (§2.3): 128 consecutive
+// lines (two 4 KB pages) reside in the same row, with an XOR-based hash
+// selecting the bank (and channel/rank when present). It is the paper's
+// baseline mapping.
+type CoffeeLake struct {
+	g        geom.Geometry
+	selBits  uint   // channel+rank+bank bits
+	selMask  uint64 // mask of selBits
+	slotBits uint
+}
+
+// NewCoffeeLake builds the Coffee Lake mapping for geometry g.
+func NewCoffeeLake(g geom.Geometry) *CoffeeLake {
+	return &CoffeeLake{
+		g:        g,
+		selBits:  g.LineBits() - g.SlotBits() - uint(rowBits(g)),
+		selMask:  uint64(g.BanksTotal()) - 1,
+		slotBits: g.SlotBits(),
+	}
+}
+
+func rowBits(g geom.Geometry) int {
+	// rows-per-bank bit width
+	n := 0
+	for v := g.RowsPerBank; v > 1; v >>= 1 {
+		n++
+	}
+	return n
+}
+
+// Name implements Mapper.
+func (m *CoffeeLake) Name() string { return "CoffeeLake" }
+
+// Map implements Mapper. The low slot bits are untouched (consecutive 128
+// lines share a row); the bank-select bits are XOR-hashed with the row bits.
+func (m *CoffeeLake) Map(line uint64) uint64 {
+	slot := line & ((1 << m.slotBits) - 1)
+	block := line >> m.slotBits // global-row-sized block of program space
+	sel := block & m.selMask
+	row := block >> m.selBits
+	sel ^= xorFold(row, m.selBits) & m.selMask
+	return (row<<m.selBits|sel)<<m.slotBits | slot
+}
+
+// Unmap implements Inverter. XOR with a function of untouched bits is its
+// own inverse.
+func (m *CoffeeLake) Unmap(phys uint64) uint64 { return m.Map(phys) }
+
+// --- Skylake ---------------------------------------------------------------
+
+// Skylake models the Intel Skylake mapping (§2.3): pairs of lines alternate
+// between two banks, so lines 0,1,4,5,...,60,61 of a 4 KB page reside in a
+// row of one bank and lines 2,3,6,7,...,62,63 in a row of another; 32 lines
+// of each page share a row, and four consecutive pages fill it.
+type Skylake struct {
+	g        geom.Geometry
+	selBits  uint
+	slotBits uint
+}
+
+// NewSkylake builds the Skylake mapping for geometry g. The geometry must
+// have at least two total banks and 128-line rows (the configuration the
+// mapping was reverse-engineered on).
+func NewSkylake(g geom.Geometry) (*Skylake, error) {
+	if g.BanksTotal() < 2 {
+		return nil, fmt.Errorf("mapping: Skylake requires >= 2 banks, geometry has %d", g.BanksTotal())
+	}
+	if g.LinesPerRow() < 4 {
+		return nil, fmt.Errorf("mapping: Skylake requires >= 4 lines per row, geometry has %d", g.LinesPerRow())
+	}
+	return &Skylake{
+		g:        g,
+		selBits:  g.LineBits() - g.SlotBits() - uint(rowBits(g)),
+		slotBits: g.SlotBits(),
+	}, nil
+}
+
+// Name implements Mapper.
+func (m *Skylake) Name() string { return "Skylake" }
+
+// Map implements Mapper.
+//
+// Bit plan for a line address (LSB first): b0 = line in pair; b1 = bank-pair
+// select; b2.. = successive pairs. The slot is rebuilt from b0 plus the next
+// slotBits-1 bits above b1, so each row interleaves pairs from a page with a
+// stride of 4 lines and spans four consecutive pages (for 128-line rows).
+func (m *Skylake) Map(line uint64) uint64 {
+	b0 := line & 1
+	bankLow := line >> 1 & 1
+	upper := line >> 2 // pair stream above the bank-select bit
+
+	slotHigh := upper & ((1 << (m.slotBits - 1)) - 1) // slotBits-1 bits
+	slot := slotHigh<<1 | b0
+	rest := upper >> (m.slotBits - 1)
+
+	// Remaining bank/rank/channel select bits come from the low bits of
+	// rest; the row address is what is left.
+	selRestBits := m.selBits - 1
+	selRest := rest & ((1 << selRestBits) - 1)
+	row := rest >> selRestBits
+
+	sel := selRest<<1 | bankLow
+	sel ^= xorFold(row, m.selBits) & ((1 << m.selBits) - 1)
+	return (row<<m.selBits|sel)<<m.slotBits | slot
+}
+
+// Unmap implements Inverter.
+func (m *Skylake) Unmap(phys uint64) uint64 {
+	slot := phys & ((1 << m.slotBits) - 1)
+	gr := phys >> m.slotBits
+	sel := gr & ((1 << m.selBits) - 1)
+	row := gr >> m.selBits
+	sel ^= xorFold(row, m.selBits) & ((1 << m.selBits) - 1)
+
+	bankLow := sel & 1
+	selRest := sel >> 1
+	b0 := slot & 1
+	slotHigh := slot >> 1
+
+	rest := row<<(m.selBits-1) | selRest
+	upper := rest<<(m.slotBits-1) | slotHigh
+	return upper<<2 | bankLow<<1 | b0
+}
+
+// --- MOP (Minimalist Open-Page) ---------------------------------------------
+
+// MOP models the Minimalist Open-Page mapping (Kaseridis et al., MICRO-44;
+// §7.1): gangs of four lines round-robin across all banks, so only four
+// lines of each 4 KB page land in the same row, but gangs at the same page
+// offset of consecutive pages co-reside — preserving spatial correlation,
+// which is why MOP does not fix hot rows (Figure 17).
+type MOP struct {
+	g        geom.Geometry
+	selBits  uint
+	slotBits uint
+	gangBits uint // log2 lines per MOP gang (= 2)
+}
+
+// NewMOP builds the MOP mapping for geometry g.
+func NewMOP(g geom.Geometry) *MOP {
+	return &MOP{
+		g:        g,
+		selBits:  g.LineBits() - g.SlotBits() - uint(rowBits(g)),
+		slotBits: g.SlotBits(),
+		gangBits: 2,
+	}
+}
+
+// Name implements Mapper.
+func (m *MOP) Name() string { return "MOP" }
+
+// Map implements Mapper.
+func (m *MOP) Map(line uint64) uint64 {
+	lig := line & ((1 << m.gangBits) - 1) // line in MOP gang
+	gang := line >> m.gangBits
+	sel := gang & ((1 << m.selBits) - 1) // round-robin across banks
+	rest := gang >> m.selBits
+
+	gangsPerRow := m.slotBits - m.gangBits
+	slotGang := rest & ((1 << gangsPerRow) - 1)
+	row := rest >> gangsPerRow
+
+	slot := slotGang<<m.gangBits | lig
+	return (row<<m.selBits|sel)<<m.slotBits | slot
+}
+
+// Unmap implements Inverter.
+func (m *MOP) Unmap(phys uint64) uint64 {
+	slot := phys & ((1 << m.slotBits) - 1)
+	gr := phys >> m.slotBits
+	sel := gr & ((1 << m.selBits) - 1)
+	row := gr >> m.selBits
+
+	lig := slot & ((1 << m.gangBits) - 1)
+	slotGang := slot >> m.gangBits
+
+	gangsPerRow := m.slotBits - m.gangBits
+	rest := row<<gangsPerRow | slotGang
+	gang := rest<<m.selBits | sel
+	return gang<<m.gangBits | lig
+}
+
+// --- Large stride (§6.1) ----------------------------------------------------
+
+// LargeStride is the cipher-free randomization alternative of §6.1: the
+// most-significant bits of the gang address choose the gang-in-row, so gangs
+// co-resident in a row are strided by hundreds of megabytes (512 MB for the
+// 16 GB / 32-gangs-per-row configuration) and are unlikely to be accessed
+// together. Unlike Rubix-S it is not robust to adversarially large strides.
+type LargeStride struct {
+	g        geom.Geometry
+	gangBits uint // log2 gang size in lines
+	pBits    uint // gang-in-row bits
+	restBits uint // row+bank select bits
+	selBits  uint // channel+rank+bank bits within rest
+	slotBits uint
+}
+
+// NewLargeStride builds the large-stride mapping with a gang of gangSize
+// lines (1, 2, or 4). Like the Intel mappings it keeps an XOR-based bank
+// hash, so strided patterns do not serialize on one bank.
+func NewLargeStride(g geom.Geometry, gangSize int) (*LargeStride, error) {
+	gb, err := gangBitsFor(gangSize)
+	if err != nil {
+		return nil, err
+	}
+	if uint(gb) >= g.SlotBits() {
+		return nil, fmt.Errorf("mapping: gang size %d does not fit a %d-line row", gangSize, g.LinesPerRow())
+	}
+	p := g.SlotBits() - uint(gb)
+	return &LargeStride{
+		g:        g,
+		gangBits: uint(gb),
+		pBits:    p,
+		restBits: g.LineBits() - g.SlotBits(),
+		selBits:  g.LineBits() - g.SlotBits() - uint(rowBits(g)),
+		slotBits: g.SlotBits(),
+	}, nil
+}
+
+func gangBitsFor(gangSize int) (int, error) {
+	switch gangSize {
+	case 1:
+		return 0, nil
+	case 2:
+		return 1, nil
+	case 4:
+		return 2, nil
+	case 8:
+		return 3, nil
+	}
+	return 0, fmt.Errorf("mapping: unsupported gang size %d (want 1, 2, 4, or 8)", gangSize)
+}
+
+// Name implements Mapper.
+func (m *LargeStride) Name() string {
+	return fmt.Sprintf("LargeStride(GS%d)", 1<<m.gangBits)
+}
+
+// Map implements Mapper: the top pBits of the gang address become the
+// gang-in-row, and the remaining (spatially local) bits become the global
+// row, so consecutive gangs land in consecutive rows; the bank-select bits
+// are XOR-hashed with the row bits as in the Intel mappings.
+func (m *LargeStride) Map(line uint64) uint64 {
+	lig := line & ((1 << m.gangBits) - 1)
+	gang := line >> m.gangBits
+	gangAddrBits := m.pBits + m.restBits
+	top := gang >> (gangAddrBits - m.pBits) // top pBits
+	rest := gang & ((1 << (gangAddrBits - m.pBits)) - 1)
+	rest = m.bankHash(rest)
+	slot := top<<m.gangBits | lig
+	return rest<<m.slotBits | slot
+}
+
+// bankHash XORs the row bits of a global row index into its bank-select
+// bits; it is an involution.
+func (m *LargeStride) bankHash(globalRow uint64) uint64 {
+	sel := globalRow & ((1 << m.selBits) - 1)
+	row := globalRow >> m.selBits
+	sel ^= xorFold(row, m.selBits) & ((1 << m.selBits) - 1)
+	return row<<m.selBits | sel
+}
+
+// Unmap implements Inverter.
+func (m *LargeStride) Unmap(phys uint64) uint64 {
+	slot := phys & ((1 << m.slotBits) - 1)
+	rest := m.bankHash(phys >> m.slotBits)
+	lig := slot & ((1 << m.gangBits) - 1)
+	top := slot >> m.gangBits
+	gangAddrBits := m.pBits + m.restBits
+	gang := top<<(gangAddrBits-m.pBits) | rest
+	return gang<<m.gangBits | lig
+}

@@ -1,0 +1,230 @@
+package mapping
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rubix/internal/geom"
+)
+
+func allMappers(t *testing.T, g geom.Geometry) []Mapper {
+	t.Helper()
+	sky, err := NewSkylake(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls1, err := NewLargeStride(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls4, err := NewLargeStride(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Mapper{
+		NewSequential(),
+		NewCoffeeLake(g),
+		sky,
+		NewMOP(g),
+		ls1,
+		ls4,
+	}
+}
+
+func TestRoundTripAllMappers(t *testing.T) {
+	for _, g := range []geom.Geometry{geom.DDR4_16GB(), geom.DDR4_32GB2Ch(), geom.DDR4_32GB4Ch()} {
+		for _, m := range allMappers(t, g) {
+			inv, ok := m.(Inverter)
+			if !ok {
+				t.Fatalf("%s does not implement Inverter", m.Name())
+			}
+			f := func(raw uint64) bool {
+				line := raw & (g.TotalLines() - 1)
+				phys := m.Map(line)
+				return phys < g.TotalLines() && inv.Unmap(phys) == line
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+				t.Fatalf("%s on %v: %v", m.Name(), g, err)
+			}
+		}
+	}
+}
+
+func TestBijectionDense(t *testing.T) {
+	// Exhaustively check a dense sub-range for collisions through each
+	// mapping on the baseline geometry.
+	g := geom.DDR4_16GB()
+	for _, m := range allMappers(t, g) {
+		seen := make(map[uint64]uint64, 1<<16)
+		for line := uint64(0); line < 1<<16; line++ {
+			p := m.Map(line)
+			if prev, dup := seen[p]; dup {
+				t.Fatalf("%s: Map(%d) == Map(%d) == %#x", m.Name(), line, prev, p)
+			}
+			seen[p] = line
+		}
+	}
+}
+
+func TestCoffeeLakeRowPlacement(t *testing.T) {
+	// §2.3: 128 consecutive lines (two 4 KB pages) share a row.
+	g := geom.DDR4_16GB()
+	m := NewCoffeeLake(g)
+	for block := uint64(0); block < 64; block++ {
+		base := block * 128
+		row := g.GlobalRow(m.Map(base))
+		for i := uint64(1); i < 128; i++ {
+			if g.GlobalRow(m.Map(base+i)) != row {
+				t.Fatalf("line %d of block %d left its row", i, block)
+			}
+		}
+		if g.GlobalRow(m.Map(base+128)) == row {
+			t.Fatalf("block %d+1 shares a row with block %d", block, block)
+		}
+	}
+}
+
+func TestCoffeeLakeBankHashSpreadsBlocks(t *testing.T) {
+	// Consecutive 128-line blocks should spread across banks.
+	g := geom.DDR4_16GB()
+	m := NewCoffeeLake(g)
+	banks := map[int]bool{}
+	for block := uint64(0); block < 16; block++ {
+		banks[g.Decode(m.Map(block*128)).Bank] = true
+	}
+	if len(banks) < 8 {
+		t.Fatalf("16 consecutive blocks use only %d banks", len(banks))
+	}
+}
+
+func TestSkylakePairInterleaving(t *testing.T) {
+	// §2.3: lines 0,1,4,5,... of a page share a row in one bank;
+	// lines 2,3,6,7,... share a row in another.
+	g := geom.DDR4_16GB()
+	m, err := NewSkylake(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evenRow := g.GlobalRow(m.Map(0))
+	oddRow := g.GlobalRow(m.Map(2))
+	if evenRow == oddRow {
+		t.Fatal("line pairs 0-1 and 2-3 should be in different rows")
+	}
+	for i := uint64(0); i < 64; i++ {
+		row := g.GlobalRow(m.Map(i))
+		want := evenRow
+		if i>>1&1 == 1 {
+			want = oddRow
+		}
+		if row != want {
+			t.Fatalf("line %d in row %d, want %d", i, row, want)
+		}
+	}
+}
+
+func TestSkylakeFourPagesPerRow(t *testing.T) {
+	// §2.3: the contents of four consecutive pages co-reside in a row, so a
+	// row receives 32 lines of each page.
+	g := geom.DDR4_16GB()
+	m, err := NewSkylake(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowCount := map[uint64]int{}
+	for line := uint64(0); line < 4*64; line++ { // four pages
+		rowCount[g.GlobalRow(m.Map(line))]++
+	}
+	if len(rowCount) != 2 {
+		t.Fatalf("four pages map to %d rows, want 2", len(rowCount))
+	}
+	for row, n := range rowCount {
+		if n != 128 {
+			t.Fatalf("row %d holds %d of the four pages' lines, want 128", row, n)
+		}
+	}
+}
+
+func TestMOPFourLinesPerPagePerRow(t *testing.T) {
+	// §7.1: MOP places only four lines of a 4 KB page in the same row, but
+	// gangs at the same offset of consecutive pages co-reside.
+	g := geom.DDR4_16GB()
+	m := NewMOP(g)
+	pageRows := map[uint64]int{}
+	for i := uint64(0); i < 64; i++ { // one page
+		pageRows[g.GlobalRow(m.Map(i))]++
+	}
+	for row, n := range pageRows {
+		if n != 4 {
+			t.Fatalf("row %d holds %d lines of the page, want 4 (MOP)", row, n)
+		}
+	}
+	// Same gang slot of consecutive pages shares a row (spatial correlation
+	// survives — MOP's weakness).
+	r0 := g.GlobalRow(m.Map(0))
+	r1 := g.GlobalRow(m.Map(64)) // line 0 of next page
+	if r0 != r1 {
+		t.Fatal("MOP should co-locate gang 0 of consecutive pages")
+	}
+}
+
+func TestLargeStrideCoResidencyDistance(t *testing.T) {
+	// §6.1: gangs co-resident in a row are strided by memory-size/gangs-per-
+	// row (512 MB for 16 GB, 32 gangs per row at GS4).
+	g := geom.DDR4_16GB()
+	m, err := NewLargeStride(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row0 := g.GlobalRow(m.Map(0))
+	// Consecutive gangs must not share the row.
+	if g.GlobalRow(m.Map(4)) == row0 {
+		t.Fatal("consecutive gangs share a row under large-stride")
+	}
+	// The gang 512 MB away (2^23 lines) should land in the same row.
+	const strideLines = 512 << 20 / 64
+	if g.GlobalRow(m.Map(strideLines)) != row0 {
+		t.Fatal("gang at 512 MB stride should co-reside")
+	}
+	// Lines within a gang stay together.
+	for i := uint64(1); i < 4; i++ {
+		if g.GlobalRow(m.Map(i)) != row0 {
+			t.Fatalf("line %d escaped its gang's row", i)
+		}
+	}
+}
+
+func TestLargeStrideRejectsBadGang(t *testing.T) {
+	g := geom.DDR4_16GB()
+	if _, err := NewLargeStride(g, 3); err == nil {
+		t.Fatal("gang size 3 should be rejected")
+	}
+	if _, err := NewLargeStride(g, 256); err == nil {
+		t.Fatal("gang larger than a row should be rejected")
+	}
+}
+
+func TestSkylakeRequiresBanks(t *testing.T) {
+	g, err := geom.New(1, 1, 1, 1024, 8192, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSkylake(g); err == nil {
+		t.Fatal("Skylake on a single-bank geometry should be rejected")
+	}
+}
+
+func TestXorFold(t *testing.T) {
+	if xorFold(0, 4) != 0 {
+		t.Fatal("xorFold(0) != 0")
+	}
+	if got := xorFold(0xF0F, 4); got != 0xF^0xF0F&0xF {
+		// 0xF0F folds as 0xF ^ 0x0 ^ 0xF... compute directly:
+		want := uint64(0xF ^ 0x0 ^ 0xF)
+		if got != want {
+			t.Fatalf("xorFold(0xF0F, 4) = %#x, want %#x", got, want)
+		}
+	}
+	if xorFold(0xABCD, 0) != 0 {
+		t.Fatal("zero width must fold to 0")
+	}
+}

@@ -1,0 +1,134 @@
+// Package memctrl implements the memory controller: the component that
+// receives line-granular requests, applies the memory mapping (possibly
+// Rubix), consults the Rowhammer mitigation (row indirection, activation
+// throttling), issues the access to the DRAM model, and feeds activations
+// back into trackers and the Rubix-D remapping engine.
+package memctrl
+
+import (
+	"rubix/internal/core"
+	"rubix/internal/dram"
+	"rubix/internal/mapping"
+	"rubix/internal/mitigation"
+)
+
+// Dynamic is implemented by mappings that react to activations by remapping
+// (Rubix-D). The controller charges the cost of any swap it returns.
+type Dynamic interface {
+	NoteActivation(phys uint64) (core.SwapOp, bool)
+}
+
+// Controller is the memory controller. It is single-threaded by design,
+// mirroring the serial command stream of real hardware.
+type Controller struct {
+	DRAM *dram.Module
+	Map  mapping.Mapper
+	Mit  mitigation.Mitigator
+
+	dyn          Dynamic // non-nil when Map is Rubix-D
+	mapLatency   float64 // ns added to every access by the mapping logic
+	nextReset    float64
+	window       float64
+	slotBits     uint
+	writeFrac    float64
+	writeAccum   float64
+	remapSwapCnt uint64
+}
+
+// Config configures a Controller.
+type Config struct {
+	DRAM *dram.Module
+	Map  mapping.Mapper
+	Mit  mitigation.Mitigator
+	// MapLatencyNs is the added pipeline latency of the mapping logic
+	// (≈1 ns for the 3-cycle K-Cipher at 3 GHz, ~0 for XOR mappings).
+	MapLatencyNs float64
+	// WriteFraction marks this share of demand accesses as writes
+	// (writebacks), charging write-recovery time before precharges and
+	// separate CAS-W accounting. Zero keeps the read-only model.
+	WriteFraction float64
+}
+
+// New builds a controller. If the mapper implements Dynamic (Rubix-D), its
+// remap engine is wired into the activation path automatically.
+func New(cfg Config) *Controller {
+	c := &Controller{
+		DRAM:       cfg.DRAM,
+		Map:        cfg.Map,
+		Mit:        cfg.Mit,
+		mapLatency: cfg.MapLatencyNs,
+		window:     cfg.DRAM.Timing.RefreshWindow,
+		slotBits:   cfg.DRAM.Geom.SlotBits(),
+		writeFrac:  cfg.WriteFraction,
+	}
+	c.nextReset = c.window
+	if d, ok := cfg.Map.(Dynamic); ok {
+		c.dyn = d
+	}
+	return c
+}
+
+// Access performs one line-granular memory access issued at `arrival` ns and
+// returns the time at which data is available.
+func (c *Controller) Access(line uint64, arrival float64) float64 {
+	for arrival >= c.nextReset {
+		c.Mit.ResetWindow()
+		c.nextReset += c.window
+	}
+
+	phys := c.Map.Map(line)
+	arrival += c.mapLatency
+
+	// Row-migration indirection (AQUA/SRS): redirect to the row's current
+	// physical location, preserving the slot within the row.
+	row := c.DRAM.Geom.GlobalRow(phys)
+	cur := c.Mit.TranslateRow(row)
+	if cur != row {
+		phys = cur<<c.slotBits | phys&((1<<c.slotBits)-1)
+	}
+
+	// Rate control (BlockHammer): only activations need a grant.
+	start := arrival
+	if !c.DRAM.WouldHit(phys) {
+		start = c.Mit.ReleaseTime(cur, arrival)
+	}
+
+	// Deterministic write marking: every writeFrac-th access is a
+	// writeback.
+	write := false
+	if c.writeFrac > 0 {
+		c.writeAccum += c.writeFrac
+		if c.writeAccum >= 1 {
+			c.writeAccum--
+			write = true
+		}
+	}
+
+	res := c.DRAM.AccessRW(phys, start, write)
+	if res.Activated {
+		c.Mit.OnACT(cur, res.ActStart)
+		if c.dyn != nil {
+			if op, ok := c.dyn.NoteActivation(phys); ok {
+				c.chargeSwap(op, res.ActStart)
+			}
+		}
+	}
+	return res.Completion
+}
+
+// chargeSwap accounts the DRAM cost of a Rubix-D gang swap: 3 activations
+// (X, Y, X), 4×gangSize column accesses, and channel occupancy for the
+// duration of the three row cycles and the data bursts.
+func (c *Controller) chargeSwap(op core.SwapOp, at float64) {
+	c.DRAM.ForceActivate(op.RowX, at)
+	c.DRAM.ForceActivate(op.RowY, at)
+	c.DRAM.ForceActivate(op.RowX, at)
+	c.DRAM.AddExtraCAS(op.CAS)
+	t := c.DRAM.Timing
+	block := float64(op.Acts)*(t.TRCD+t.TRP) + float64(op.CAS)*t.TBurst
+	c.DRAM.BlockChannel(op.RowX, at, block)
+	c.remapSwapCnt++
+}
+
+// RemapSwaps reports the number of Rubix-D gang swaps charged so far.
+func (c *Controller) RemapSwaps() uint64 { return c.remapSwapCnt }

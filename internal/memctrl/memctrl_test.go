@@ -1,0 +1,221 @@
+package memctrl
+
+import (
+	"testing"
+
+	"rubix/internal/core"
+	"rubix/internal/dram"
+	"rubix/internal/geom"
+	"rubix/internal/kcipher"
+	"rubix/internal/mapping"
+	"rubix/internal/mitigation"
+)
+
+func newCtl(t *testing.T, m mapping.Mapper, mit mitigation.Mitigator, d *dram.Module) *Controller {
+	t.Helper()
+	return New(Config{DRAM: d, Map: m, Mit: mit})
+}
+
+func baseDRAM(trh int) *dram.Module {
+	return dram.New(dram.Config{Geometry: geom.DDR4_16GB(), Timing: dram.DDR4_2400(), TRH: trh})
+}
+
+func TestAccessCompletes(t *testing.T) {
+	d := baseDRAM(128)
+	c := newCtl(t, mapping.NewCoffeeLake(d.Geom), mitigation.NewNone(), d)
+	done := c.Access(0, 0)
+	if done <= 0 {
+		t.Fatal("no latency modelled")
+	}
+	if d.Stats().Accesses != 1 {
+		t.Fatal("access not recorded")
+	}
+}
+
+func TestSpatialLocalityHitsUnderCoffeeLake(t *testing.T) {
+	d := baseDRAM(128)
+	c := newCtl(t, mapping.NewCoffeeLake(d.Geom), mitigation.NewNone(), d)
+	now := 0.0
+	for line := uint64(0); line < 64; line++ {
+		now = c.Access(line, now)
+	}
+	if hr := d.Stats().HitRate(); hr < 0.9 {
+		t.Fatalf("sequential hit rate %.2f under Coffee Lake, want > 0.9", hr)
+	}
+}
+
+func TestRubixSKillsLocalityAtGS1(t *testing.T) {
+	d := baseDRAM(128)
+	m, err := core.NewRubixS(d.Geom, 1, kcipher.KeyFromSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCtl(t, m, mitigation.NewNone(), d)
+	now := 0.0
+	for line := uint64(0); line < 256; line++ {
+		now = c.Access(line, now)
+	}
+	if hr := d.Stats().HitRate(); hr > 0.05 {
+		t.Fatalf("sequential hit rate %.2f under Rubix-S GS1, want ~0", hr)
+	}
+}
+
+func TestRubixSGS4KeepsGangHits(t *testing.T) {
+	d := baseDRAM(128)
+	m, err := core.NewRubixS(d.Geom, 4, kcipher.KeyFromSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCtl(t, m, mitigation.NewNone(), d)
+	now := 0.0
+	for line := uint64(0); line < 256; line++ {
+		now = c.Access(line, now)
+	}
+	hr := d.Stats().HitRate()
+	// Each gang of 4 gives up to 3 hits: expect ~0.75 modulo collisions.
+	if hr < 0.6 || hr > 0.8 {
+		t.Fatalf("sequential hit rate %.2f under GS4, want ~0.75", hr)
+	}
+}
+
+func TestMigrationIndirectionRedirectsAccesses(t *testing.T) {
+	d := baseDRAM(128)
+	mit := mitigation.NewAQUA(d, mitigation.AQUAConfig{TRH: 128})
+	c := newCtl(t, mapping.NewSequential(), mit, d)
+	g := d.Geom
+	// Hammer line 0's row with bank conflicts until AQUA migrates it.
+	rowLines := uint64(g.LinesPerRow())
+	conflict := rowLines * uint64(g.BanksTotal()) // same bank, next row
+	now := 0.0
+	for i := 0; i < 200; i++ {
+		now = c.Access(0, now)
+		now = c.Access(conflict, now)
+	}
+	if mit.Mitigations() == 0 {
+		t.Fatal("expected a migration")
+	}
+	// Subsequent accesses to line 0 must land on the quarantine row.
+	cur := mit.TranslateRow(g.GlobalRow(0))
+	before := d.Stats().Accesses
+	_ = before
+	res := d.WouldHit(cur << g.SlotBits())
+	_ = res // the controller path below is what matters:
+	c.Access(0, now)
+	// The original physical row must not receive the new activation. Use
+	// the window census: row 0's count stopped growing after migration.
+	// (Indirect check: translated row differs from original.)
+	if cur == g.GlobalRow(0) {
+		t.Fatal("row not redirected after migration")
+	}
+}
+
+func TestBlockHammerDelayAppliedOnlyToActivations(t *testing.T) {
+	d := baseDRAM(128)
+	bh := mitigation.NewBlockHammer(d, mitigation.BlockHammerConfig{TRH: 128})
+	c := newCtl(t, mapping.NewSequential(), bh, d)
+	g := d.Geom
+	conflict := uint64(g.LinesPerRow() * g.BanksTotal())
+	now := 0.0
+	// Blacklist row 0 (64 activations via conflicts).
+	for i := 0; i < 64; i++ {
+		now = c.Access(0, now)
+		now = c.Access(conflict, now)
+	}
+	// The first throttled activation is granted immediately but reserves
+	// the next grant one interval away; the SECOND activation of row 0 is
+	// pushed out by ~1 ms.
+	a1 := c.Access(0, now)
+	a2 := c.Access(conflict, a1) // close row 0 again (also granted immediately)
+	a3 := c.Access(0, a2)
+	if a3-a2 < 1e5 {
+		t.Fatalf("second throttled activation only %.0f ns late, want ~1 ms", a3-a2)
+	}
+	// But a row-buffer hit on the now-open row is NOT throttled.
+	hitDone := c.Access(1, a3)
+	if hitDone-a3 > 1e3 {
+		t.Fatalf("row hit delayed %.0f ns; only activations may be throttled", hitDone-a3)
+	}
+}
+
+func TestWindowResetPropagates(t *testing.T) {
+	tm := dram.DDR4_2400()
+	tm.RefreshWindow = 1000 // 1 µs
+	d := dram.New(dram.Config{Geometry: geom.DDR4_16GB(), Timing: tm, TRH: 128})
+	bh := mitigation.NewBlockHammer(d, mitigation.BlockHammerConfig{TRH: 128})
+	c := newCtl(t, mapping.NewSequential(), bh, d)
+	g := d.Geom
+	conflict := uint64(g.LinesPerRow() * g.BanksTotal())
+	now := 0.0
+	for i := 0; i < 64; i++ {
+		now = c.Access(0, now)
+		now = c.Access(conflict, now)
+	}
+	// Jump past several windows; the blacklist must be clear.
+	far := now + 10*tm.RefreshWindow
+	done := c.Access(0, far)
+	if done-far > 1e3 {
+		t.Fatalf("throttle survived the window reset (%.0f ns delay)", done-far)
+	}
+}
+
+func TestRubixDSwapsCharged(t *testing.T) {
+	d := baseDRAM(128)
+	rd, err := core.NewRubixD(d.Geom, core.RubixDConfig{GangSize: 4, RemapRate: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCtl(t, rd, mitigation.NewNone(), d)
+	now := 0.0
+	// Random-ish strided traffic: every access activates, every activation
+	// rolls the remap dice (rate 1 → always).
+	for i := uint64(0); i < 500; i++ {
+		now = c.Access(i*uint64(d.Geom.LinesPerRow())*7, now)
+	}
+	if c.RemapSwaps() == 0 {
+		t.Fatal("no swaps charged at remap rate 1")
+	}
+	s := d.Stats()
+	if s.ExtraActs != 3*c.RemapSwaps() {
+		t.Fatalf("extra ACTs = %d, want 3 per swap (%d swaps)", s.ExtraActs, c.RemapSwaps())
+	}
+	if s.ExtraCAS != 16*c.RemapSwaps() {
+		t.Fatalf("extra CAS = %d, want 16 per swap", s.ExtraCAS)
+	}
+}
+
+func TestMapLatencyAdds(t *testing.T) {
+	d1 := baseDRAM(128)
+	c1 := New(Config{DRAM: d1, Map: mapping.NewSequential(), Mit: mitigation.NewNone()})
+	d2 := baseDRAM(128)
+	c2 := New(Config{DRAM: d2, Map: mapping.NewSequential(), Mit: mitigation.NewNone(), MapLatencyNs: 5})
+	t1 := c1.Access(0, 100)
+	t2 := c2.Access(0, 100)
+	if t2-t1 < 5 {
+		t.Fatalf("map latency not applied: %.2f vs %.2f", t2, t1)
+	}
+}
+
+func TestWriteFractionMarksWrites(t *testing.T) {
+	d := baseDRAM(128)
+	c := New(Config{DRAM: d, Map: mapping.NewSequential(), Mit: mitigation.NewNone(), WriteFraction: 0.25})
+	now := 0.0
+	for i := uint64(0); i < 1000; i++ {
+		now = c.Access(i, now)
+	}
+	s := d.Stats()
+	if s.WriteCAS != 250 {
+		t.Fatalf("writes = %d, want exactly 250 at fraction 0.25", s.WriteCAS)
+	}
+}
+
+func TestStaticMapperHasNoDynamicHook(t *testing.T) {
+	d := baseDRAM(128)
+	c := newCtl(t, mapping.NewCoffeeLake(d.Geom), mitigation.NewNone(), d)
+	now := 0.0
+	for i := uint64(0); i < 1000; i++ {
+		now = c.Access(i*131, now)
+	}
+	if c.RemapSwaps() != 0 {
+		t.Fatal("static mapping must never swap")
+	}
+}

@@ -1,0 +1,65 @@
+package mitigation
+
+import "testing"
+
+func TestDSACRefreshesMostAggressors(t *testing.T) {
+	d := newDRAM(t, 1<<30)
+	m := NewDSAC(d, DSACConfig{TRH: 128, Seed: 1})
+	stride := uint64(d.Geom.BanksTotal())
+	// Drive 1000 independent aggressors to the report threshold.
+	for agg := uint64(1); agg <= 1000; agg++ {
+		row := agg * 100 * stride
+		for i := 0; i < 64; i++ {
+			m.OnACT(row, float64(i))
+		}
+	}
+	total := m.Mitigations() + m.Escapes()
+	if total != 1000 {
+		t.Fatalf("reports = %d, want 1000", total)
+	}
+	frac := float64(m.Escapes()) / float64(total)
+	if frac < 0.09 || frac > 0.19 {
+		t.Fatalf("escape fraction %.3f, want ~0.139", frac)
+	}
+}
+
+func TestDSACEscapeConfigurable(t *testing.T) {
+	d := newDRAM(t, 1<<30)
+	m := NewDSAC(d, DSACConfig{TRH: 128, Escape: 0.069, Seed: 2}) // PAT
+	stride := uint64(d.Geom.BanksTotal())
+	for agg := uint64(1); agg <= 2000; agg++ {
+		row := agg * 50 * stride
+		for i := 0; i < 64; i++ {
+			m.OnACT(row, float64(i))
+		}
+	}
+	frac := float64(m.Escapes()) / float64(m.Mitigations()+m.Escapes())
+	if frac < 0.04 || frac > 0.10 {
+		t.Fatalf("PAT escape fraction %.3f, want ~0.069", frac)
+	}
+}
+
+func TestDSACStillNotSecure(t *testing.T) {
+	// Even ignoring Half-Double, escapes alone let a patient attacker
+	// exceed T_RH: over many report cycles some reports are missed, and —
+	// structurally, like TRR — the victim refreshes hammer distance 2.
+	const trh = 128
+	d := newDRAM(t, trh)
+	m := NewDSAC(d, DSACConfig{TRH: trh, Seed: 3})
+	rows := []uint64{5, 5 + uint64(d.Geom.BanksTotal())}
+	hammerThroughMitigator(d, m, rows, 100000)
+	if d.Finalize().TotalOverTRH() == 0 {
+		t.Fatal("approximate in-DRAM TRR should not survive a sustained attack")
+	}
+}
+
+func TestDSACByName(t *testing.T) {
+	d := newDRAM(t, 128)
+	m, err := ByName("dsac", d, 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "DSAC" {
+		t.Fatalf("name = %s", m.Name())
+	}
+}

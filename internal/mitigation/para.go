@@ -1,0 +1,88 @@
+// PARA — Probabilistic Adjacent Row Activation (Kim et al., ISCA 2014), the
+// original stateless Rowhammer mitigation: on every activation, with a
+// small probability p, refresh the neighbouring rows. No tracker at all;
+// the probability is chosen so that an aggressor performing T_RH
+// activations triggers a neighbour refresh with overwhelming probability.
+//
+// PARA shares victim-refresh TRR's structural weakness — it acts on the
+// victims, preserving aggressor-victim adjacency — so Half-Double-style
+// pressure transfers to distance 2. It is included, like TRR, as a
+// baseline for the Table 5 comparison and tracking studies, NOT as a
+// secure mitigation.
+
+package mitigation
+
+import (
+	"math"
+
+	"rubix/internal/dram"
+	"rubix/internal/rng"
+)
+
+// PARA is the stateless probabilistic victim-refresh mitigation.
+type PARA struct {
+	dram      *dram.Module
+	p         float64
+	rng       *rng.Xoshiro256
+	refreshes uint64
+}
+
+// PARAConfig configures NewPARA.
+type PARAConfig struct {
+	// Probability of refreshing the neighbours on each activation. Zero
+	// derives it from TRH such that an aggressor evades with probability
+	// below 2^-40: p = 1 - 2^(-40/TRH).
+	Probability float64
+	TRH         int
+	Seed        uint64
+}
+
+// NewPARA builds a PARA mitigator over module d.
+func NewPARA(d *dram.Module, cfg PARAConfig) *PARA {
+	p := cfg.Probability
+	if p <= 0 {
+		trh := cfg.TRH
+		if trh < 1 {
+			trh = 1
+		}
+		p = 1 - math.Exp2(-40/float64(trh))
+	}
+	if p > 1 {
+		p = 1
+	}
+	return &PARA{dram: d, p: p, rng: rng.NewXoshiro256(cfg.Seed ^ 0x9A7A)}
+}
+
+// Name implements Mitigator.
+func (p *PARA) Name() string { return "PARA" }
+
+// TranslateRow implements Mitigator.
+func (p *PARA) TranslateRow(row uint64) uint64 { return row }
+
+// ReleaseTime implements Mitigator.
+func (p *PARA) ReleaseTime(_ uint64, arrival float64) float64 { return arrival }
+
+// OnACT implements Mitigator: flip the coin, refresh the neighbours.
+func (p *PARA) OnACT(row uint64, actStart float64) {
+	if p.rng.Float64() >= p.p {
+		return
+	}
+	stride := uint64(p.dram.Geom.BanksTotal())
+	total := p.dram.Geom.TotalRows()
+	if row >= stride {
+		p.dram.ForceActivate(row-stride, actStart)
+	}
+	if row+stride < total {
+		p.dram.ForceActivate(row+stride, actStart)
+	}
+	p.refreshes++
+}
+
+// ResetWindow implements Mitigator: PARA is stateless.
+func (p *PARA) ResetWindow() {}
+
+// Mitigations implements Mitigator.
+func (p *PARA) Mitigations() uint64 { return p.refreshes }
+
+// Probability reports the configured refresh probability.
+func (p *PARA) Probability() float64 { return p.p }

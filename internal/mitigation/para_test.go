@@ -1,0 +1,81 @@
+package mitigation
+
+import (
+	"math"
+	"testing"
+
+	"rubix/internal/dram"
+	"rubix/internal/geom"
+)
+
+func TestPARAProbabilityDerivation(t *testing.T) {
+	d := newDRAM(t, 128)
+	p := NewPARA(d, PARAConfig{TRH: 128})
+	// p = 1 - 2^(-40/128) ≈ 0.195.
+	want := 1 - math.Exp2(-40.0/128)
+	if math.Abs(p.Probability()-want) > 1e-9 {
+		t.Fatalf("derived probability %v, want %v", p.Probability(), want)
+	}
+	// Explicit probability wins.
+	p2 := NewPARA(d, PARAConfig{Probability: 0.01})
+	if p2.Probability() != 0.01 {
+		t.Fatal("explicit probability ignored")
+	}
+}
+
+func TestPARARefreshRate(t *testing.T) {
+	d := newDRAM(t, 1<<30)
+	p := NewPARA(d, PARAConfig{Probability: 0.1, Seed: 1})
+	const acts = 100000
+	for i := 0; i < acts; i++ {
+		p.OnACT(uint64(i%1000)*16, 0)
+	}
+	rate := float64(p.Mitigations()) / acts
+	if rate < 0.08 || rate > 0.12 {
+		t.Fatalf("refresh rate %.3f, want ~0.1", rate)
+	}
+	// Each refresh activates up to two neighbours.
+	s := d.Finalize()
+	if s.ExtraActs < p.Mitigations() || s.ExtraActs > 2*p.Mitigations() {
+		t.Fatalf("extra ACTs %d vs %d refreshes", s.ExtraActs, p.Mitigations())
+	}
+}
+
+func TestPARACatchesSustainedAggressor(t *testing.T) {
+	// Over T_RH activations, the probability of zero refreshes must be
+	// negligible (that is the scheme's whole argument).
+	d := newDRAM(t, 1<<30)
+	p := NewPARA(d, PARAConfig{TRH: 128, Seed: 2})
+	row := uint64(5000 * 16)
+	for i := 0; i < 128; i++ {
+		p.OnACT(row, float64(i))
+	}
+	if p.Mitigations() == 0 {
+		t.Fatal("PARA fired zero refreshes over a full T_RH of activations")
+	}
+}
+
+func TestPARAIsNotSecureAgainstHalfDouble(t *testing.T) {
+	// Like TRR, PARA's victim refreshes hammer distance-2 rows.
+	const trh = 128
+	d := dram.New(dram.Config{Geometry: geom.DDR4_16GB(), Timing: dram.DDR4_2400(), TRH: trh})
+	p := NewPARA(d, PARAConfig{TRH: trh, Seed: 3})
+	a := uint64(5000) * uint64(d.Geom.BanksTotal())
+	for i := 0; i < 100*trh; i++ {
+		p.OnACT(a, float64(i))
+	}
+	if d.Finalize().TotalOverTRH() == 0 {
+		t.Fatal("sustained hammering under PARA should push neighbours past TRH")
+	}
+}
+
+func TestPARAByName(t *testing.T) {
+	d := newDRAM(t, 128)
+	m, err := ByName("para", d, 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "PARA" {
+		t.Fatalf("name = %s", m.Name())
+	}
+}

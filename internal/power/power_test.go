@@ -1,0 +1,76 @@
+package power
+
+import (
+	"testing"
+
+	"rubix/internal/dram"
+)
+
+func TestBackgroundOnly(t *testing.T) {
+	m := DDR4DIMM16GB()
+	var s dram.Stats
+	if got := m.Estimate(&s, 1e6); got != m.BackgroundMW {
+		t.Fatalf("idle power = %.0f, want background %.0f", got, m.BackgroundMW)
+	}
+	if got := m.Estimate(&s, 0); got != m.BackgroundMW {
+		t.Fatal("zero elapsed time must fall back to background")
+	}
+}
+
+func TestDynamicScalesWithRates(t *testing.T) {
+	m := DDR4DIMM16GB()
+	s := dram.Stats{Accesses: 1000, DemandActs: 500}
+	p1 := m.Estimate(&s, 1e6)
+	p2 := m.Estimate(&s, 2e6) // same events over twice the time = lower power
+	if p2 >= p1 {
+		t.Fatalf("power should fall with rate: %.1f vs %.1f", p1, p2)
+	}
+	doubled := dram.Stats{Accesses: 2000, DemandActs: 1000}
+	p3 := m.Estimate(&doubled, 1e6)
+	if p3 <= p1 {
+		t.Fatal("twice the events must cost more power")
+	}
+	// Dynamic part must scale exactly linearly.
+	d1 := p1 - m.BackgroundMW
+	d3 := p3 - m.BackgroundMW
+	if d3 < 1.99*d1 || d3 > 2.01*d1 {
+		t.Fatalf("dynamic power non-linear: %.2f vs %.2f", d1, d3)
+	}
+}
+
+func TestActivationsCostPower(t *testing.T) {
+	m := DDR4DIMM16GB()
+	lowActs := dram.Stats{Accesses: 1_000_000, DemandActs: 100_000}
+	highActs := dram.Stats{Accesses: 1_000_000, DemandActs: 1_000_000}
+	pl := m.Estimate(&lowActs, 1e7)
+	ph := m.Estimate(&highActs, 1e7)
+	if ph <= pl {
+		t.Fatal("a lower row-buffer hit rate (more ACTs) must cost more power")
+	}
+	// The paper's scale: ~2.7x more activations costs a few hundred mW.
+	if delta := ph - pl; delta < 100 || delta > 1500 {
+		t.Fatalf("ACT power delta %.0f mW implausible", delta)
+	}
+}
+
+func TestMitigationTrafficCounted(t *testing.T) {
+	m := DDR4DIMM16GB()
+	clean := dram.Stats{Accesses: 1_000_000, DemandActs: 300_000}
+	dirty := clean
+	dirty.ExtraActs = 100_000
+	dirty.ExtraCAS = 500_000
+	if m.Estimate(&dirty, 1e7) <= m.Estimate(&clean, 1e7) {
+		t.Fatal("migration traffic must cost power")
+	}
+}
+
+func TestBaselineInPaperRange(t *testing.T) {
+	// A representative baseline run: ~100M accesses/s, 30% miss rate.
+	m := DDR4DIMM16GB()
+	s := dram.Stats{Accesses: 10_000_000, DemandActs: 3_000_000}
+	p := m.Estimate(&s, 1e8) // 100 ms
+	// The paper's percentages imply a ~2.8 W baseline system.
+	if p < 2000 || p > 3800 {
+		t.Fatalf("baseline power %.0f mW outside the plausible DDR4 DIMM range", p)
+	}
+}

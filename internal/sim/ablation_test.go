@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func ablationSuite() *Suite {
+	return NewSuite(Options{Scale: 0.03, Workloads: []string{"mcf"}, Mixes: []int{}, Seed: 21})
+}
+
+func TestAblationRemapRate(t *testing.T) {
+	s := ablationSuite()
+	rows, err := s.AblationRemapRate(4, []float64{0, 0.01, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Swaps != 0 {
+		t.Fatal("rate 0 must not swap")
+	}
+	if rows[1].Swaps == 0 || rows[2].Swaps <= rows[1].Swaps {
+		t.Fatalf("swap counts not increasing with rate: %d, %d", rows[1].Swaps, rows[2].Swaps)
+	}
+	if rows[2].ExtraActPct <= rows[1].ExtraActPct {
+		t.Fatal("extra ACT overhead must grow with the remap rate")
+	}
+	if out := FormatRemapRate(rows); !strings.Contains(out, "swaps") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestAblationSegments(t *testing.T) {
+	s := ablationSuite()
+	rows, err := s.AblationSegments(4, []int{1, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1].StorageBytes != 32*rows[0].StorageBytes {
+		t.Fatalf("segment SRAM should scale linearly: %d vs %d", rows[0].StorageBytes, rows[1].StorageBytes)
+	}
+	if rows[1].RemapPeriodActs*32 != rows[0].RemapPeriodActs {
+		t.Fatalf("remap period should shrink 32x: %v vs %v", rows[0].RemapPeriodActs, rows[1].RemapPeriodActs)
+	}
+	// §5.4's numbers: unsegmented period ~200M activations on the 16 GB
+	// geometry at RR=1%.
+	if rows[0].RemapPeriodActs < 150e6 || rows[0].RemapPeriodActs > 250e6 {
+		t.Fatalf("unsegmented remap period %v, want ~200M ACTs", rows[0].RemapPeriodActs)
+	}
+	if out := FormatSegments(rows); !strings.Contains(out, "SRAM") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestAblationTrackers(t *testing.T) {
+	s := NewSuite(Options{Scale: 0.1, Workloads: []string{"mcf"}, Mixes: []int{}, Seed: 31})
+	rows, err := s.AblationTrackers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byKey := map[string]TrackerRow{}
+	for _, r := range rows {
+		byKey[r.Scheme+"/"+r.Tracker] = r
+	}
+	// Hydra's pessimistic group seeding must over-mitigate relative to
+	// Misra-Gries at this ultra-low threshold.
+	if byKey["aqua/hydra"].Mitigations <= byKey["aqua/misra-gries"].Mitigations {
+		t.Fatal("Hydra at TRH=128 should over-mitigate vs Misra-Gries")
+	}
+	// A small CBF must throttle at least as much as the ideal per-row
+	// tracker (over-estimates, never under).
+	if byKey["blockhammer/cbf-4k"].Mitigations < byKey["blockhammer/per-row"].Mitigations {
+		t.Fatal("CBF should throttle at least as often as exact counters")
+	}
+	if out := FormatTrackers(rows); !strings.Contains(out, "misra-gries") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestAblationPagePolicy(t *testing.T) {
+	s := ablationSuite()
+	rows, err := s.AblationPagePolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]PagePolicyRow{}
+	for _, r := range rows {
+		byName[r.Policy] = r
+	}
+	if byName["closed-page"].HitRate != 0 {
+		t.Fatal("closed-page cannot have row-buffer hits")
+	}
+	if byName["open-page"].HitRate < byName["closed-page"].HitRate {
+		t.Fatal("open-page must beat closed-page on hit rate")
+	}
+	if byName["open-adaptive-16"].SlowdownPct != 0 {
+		t.Fatal("adaptive is the reference point")
+	}
+	if byName["closed-page"].SlowdownPct <= 0 {
+		t.Fatal("closed-page should cost performance")
+	}
+	if out := FormatPagePolicy(rows); !strings.Contains(out, "closed-page") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestAblationWriteTraffic(t *testing.T) {
+	s := ablationSuite()
+	rows, err := s.AblationWriteTraffic([]float64{0, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].WriteCAS != 0 {
+		t.Fatal("read-only run recorded writes")
+	}
+	if rows[1].WriteCAS == 0 {
+		t.Fatal("write run recorded no writes")
+	}
+	if rows[1].SlowdownPct <= 0 {
+		t.Fatal("write recovery should cost performance")
+	}
+	if out := FormatWriteTraffic(rows); !strings.Contains(out, "write frac") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestAblationTRR(t *testing.T) {
+	s := NewSuite(Options{Scale: 0.15, Workloads: []string{"mcf"}, Mixes: []int{}, Seed: 23})
+	rows, err := s.AblationTRR([]string{"coffeelake", "rubixs-gs4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Refreshes == 0 {
+		t.Fatal("TRR on the baseline mapping should fire for mcf")
+	}
+	if rows[1].Refreshes*10 > rows[0].Refreshes {
+		t.Fatalf("Rubix should slash victim refreshes: %d vs %d", rows[1].Refreshes, rows[0].Refreshes)
+	}
+	if out := FormatTRR(rows); !strings.Contains(out, "refreshes") {
+		t.Fatal("format broken")
+	}
+}

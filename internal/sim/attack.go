@@ -1,0 +1,70 @@
+// Attack workloads: Rowhammer access patterns driven through the simulated
+// memory system, used by the security examples and tests. The attacker is
+// assumed to know the memory mapping (the paper's threat model gives the
+// attacker user-level code execution and, for baseline mappings, the
+// line-to-row layout is public knowledge).
+
+package sim
+
+import (
+	"fmt"
+
+	"rubix/internal/geom"
+	"rubix/internal/mapping"
+	"rubix/internal/workload"
+)
+
+// AttackKind selects a hammering pattern.
+type AttackKind string
+
+// Supported attack patterns.
+const (
+	// SingleSided hammers one aggressor row.
+	SingleSided AttackKind = "single-sided"
+	// DoubleSided hammers the two rows sandwiching a victim.
+	DoubleSided AttackKind = "double-sided"
+	// ManySided hammers eight rows around the victim (TRRespass-style).
+	ManySided AttackKind = "many-sided"
+)
+
+// AttackProfiles builds attacker workloads for the given mapping: each core
+// runs the hammering loop against aggressor rows physically adjacent to a
+// victim row in its address-space slice. The mapper must be invertible
+// (all mappers in this repository are); for Rubix the attacker is assumed
+// to have somehow learned the mapping — the mitigations must hold anyway
+// (§4.10: their security does not depend on the mapping).
+func AttackProfiles(kind AttackKind, g geom.Geometry, m mapping.Mapper, cores int, seed uint64) ([]workload.Profile, error) {
+	inv, ok := m.(mapping.Inverter)
+	if !ok {
+		return nil, fmt.Errorf("sim: mapper %s is not invertible", m.Name())
+	}
+	resolve := func(globalRow uint64, slot int) uint64 {
+		return inv.Unmap(globalRow<<g.SlotBits() | uint64(slot))
+	}
+	// Physically adjacent rows within a bank differ by BanksTotal in the
+	// global row index.
+	stride := uint64(g.BanksTotal())
+	out := make([]workload.Profile, cores)
+	for i := 0; i < cores; i++ {
+		// Place each attacker's victim in a different region.
+		victim := (uint64(i+1)*2048 + 1) * stride
+		var rows []uint64
+		switch kind {
+		case SingleSided:
+			rows = []uint64{victim + stride}
+		case DoubleSided:
+			rows = []uint64{victim - stride, victim + stride}
+		case ManySided:
+			for d := uint64(1); d <= 4; d++ {
+				rows = append(rows, victim-d*stride, victim+d*stride)
+			}
+		default:
+			return nil, fmt.Errorf("sim: unknown attack kind %q", kind)
+		}
+		gen := workload.NewAttack(string(kind), rows, resolve)
+		// A hammering loop is pure memory traffic: model it as an extreme
+		// MPKI with no memory-level parallelism.
+		out[i] = workload.Profile{Gen: gen, MPKI: 500, MLP: 1}
+	}
+	return out, nil
+}

@@ -1,0 +1,726 @@
+// Experiment harness: one entry point per table/figure of the paper's
+// evaluation. Each experiment returns structured rows plus a formatted
+// table, so the CLIs, benchmarks, and EXPERIMENTS.md all share one code
+// path. Runs are cached and executed in parallel across workloads.
+
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"rubix/internal/analytic"
+	"rubix/internal/dram"
+	"rubix/internal/geom"
+	"rubix/internal/workload"
+)
+
+// Options configures an experiment suite.
+type Options struct {
+	// Scale is the fraction of the paper's 250M-instruction budget each
+	// core retires (1.0 = full size). Hot-row counts scale with simulated
+	// time; performance ratios are stable from ~0.1 up.
+	Scale float64
+	// Cores is the core count (paper: 4; Figure 15 uses 8).
+	Cores int
+	// Workloads restricts the SPEC suite (nil = all 18).
+	Workloads []string
+	// Mixes restricts the mix suite (nil = all 16; empty slice = none).
+	Mixes []int
+	// Seed decorrelates all randomness.
+	Seed uint64
+	// Geometry overrides the baseline 16 GB geometry when non-zero.
+	Geometry geom.Geometry
+}
+
+// withDefaults normalizes options.
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Cores == 0 {
+		o.Cores = 4
+	}
+	if o.Workloads == nil {
+		o.Workloads = workload.SpecNames()
+	}
+	if o.Mixes == nil {
+		o.Mixes = make([]int, 16)
+		for i := range o.Mixes {
+			o.Mixes[i] = i + 1
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x5242_1BCA // "RB"
+	}
+	if o.Geometry == (geom.Geometry{}) {
+		o.Geometry = geom.DDR4_16GB()
+	}
+	return o
+}
+
+func (o Options) instrPerCore() uint64 {
+	return uint64(250_000_000 * o.Scale)
+}
+
+// allWorkloadNames returns the SPEC workloads plus the configured mixes.
+func (o Options) allWorkloadNames() []string {
+	names := append([]string(nil), o.Workloads...)
+	for _, m := range o.Mixes {
+		names = append(names, fmt.Sprintf("mix%d", m))
+	}
+	return names
+}
+
+// Suite caches simulation runs shared between experiments.
+type Suite struct {
+	opts Options
+
+	mu    sync.Mutex
+	cache map[runKey]*runEntry
+}
+
+type runKey struct {
+	wl         string
+	mapName    string
+	mitName    string
+	trh        int
+	lineCensus bool
+}
+
+type runEntry struct {
+	once sync.Once
+	res  *Result
+	err  error
+}
+
+// NewSuite builds an experiment suite.
+func NewSuite(opts Options) *Suite {
+	return &Suite{opts: opts.withDefaults(), cache: make(map[runKey]*runEntry)}
+}
+
+// Run executes (or returns the cached result of) one configuration.
+func (s *Suite) Run(wl, mapName, mitName string, trh int, lineCensus bool) (*Result, error) {
+	key := runKey{wl, mapName, mitName, trh, lineCensus}
+	s.mu.Lock()
+	e, ok := s.cache[key]
+	if !ok {
+		e = &runEntry{}
+		s.cache[key] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		profiles, err := ProfilesFor(wl, s.opts.Cores, s.opts.Geometry, s.opts.Seed)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.res, e.err = Run(Config{
+			Geometry:       s.opts.Geometry,
+			TRH:            trh,
+			MappingName:    mapName,
+			MitigationName: mitName,
+			Workloads:      profiles,
+			InstrPerCore:   s.opts.instrPerCore(),
+			Seed:           s.opts.Seed,
+			LineCensus:     lineCensus,
+		})
+	})
+	return e.res, e.err
+}
+
+// Prefetch executes the given configurations in parallel, filling the cache.
+func (s *Suite) Prefetch(keys []runKey) error {
+	workers := runtime.NumCPU()
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ch := make(chan runKey)
+	errs := make(chan error, len(keys))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range ch {
+				if _, err := s.Run(k.wl, k.mapName, k.mitName, k.trh, k.lineCensus); err != nil {
+					errs <- err
+				}
+			}
+		}()
+	}
+	for _, k := range keys {
+		ch <- k
+	}
+	close(ch)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NormPerf returns the performance of (mapName, mitName, trh) on wl
+// normalized to the unprotected Coffee Lake baseline, the paper's metric.
+func (s *Suite) NormPerf(wl, mapName, mitName string, trh int) (float64, error) {
+	base, err := s.Run(wl, "coffeelake", "none", trh, false)
+	if err != nil {
+		return 0, err
+	}
+	res, err := s.Run(wl, mapName, mitName, trh, false)
+	if err != nil {
+		return 0, err
+	}
+	if base.MeanIPC == 0 {
+		return 0, fmt.Errorf("sim: zero baseline IPC for %s", wl)
+	}
+	return res.MeanIPC / base.MeanIPC, nil
+}
+
+// MeanNormPerf averages NormPerf across the workload list.
+func (s *Suite) MeanNormPerf(wls []string, mapName, mitName string, trh int) (float64, error) {
+	keys := make([]runKey, 0, 2*len(wls))
+	for _, wl := range wls {
+		keys = append(keys,
+			runKey{wl, "coffeelake", "none", trh, false},
+			runKey{wl, mapName, mitName, trh, false})
+	}
+	if err := s.Prefetch(keys); err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, wl := range wls {
+		v, err := s.NormPerf(wl, mapName, mitName, trh)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+	}
+	return sum / float64(len(wls)), nil
+}
+
+// BestGS returns the paper's per-scheme gang-size choice: GS4 for AQUA
+// (cheap mitigations, keep row-buffer hits), GS2 for SRS under Rubix-D,
+// GS1 for BlockHammer (expensive mitigations, kill every hot row).
+func BestGS(flavor, mit string) string {
+	switch mit {
+	case "aqua":
+		return flavor + "-gs4"
+	case "srs":
+		if flavor == "rubixd" {
+			return flavor + "-gs2"
+		}
+		return flavor + "-gs4"
+	case "blockhammer":
+		return flavor + "-gs1"
+	}
+	return flavor + "-gs4"
+}
+
+// --- Figure 3: baseline mappings vs threshold ----------------------------------
+
+// Fig3Row is one bar of Figure 3.
+type Fig3Row struct {
+	Mitigation string
+	TRH        int
+	CoffeeLake float64 // normalized performance
+	Skylake    float64
+}
+
+// Fig3 sweeps the Rowhammer threshold for the three secure mitigations on
+// the Intel mappings.
+func (s *Suite) Fig3() ([]Fig3Row, error) {
+	wls := s.opts.allWorkloadNames()
+	var rows []Fig3Row
+	for _, mit := range []string{"aqua", "srs", "blockhammer"} {
+		for _, trh := range []int{1024, 512, 256, 128} {
+			cl, err := s.MeanNormPerf(wls, "coffeelake", mit, trh)
+			if err != nil {
+				return nil, err
+			}
+			sl, err := s.MeanNormPerf(wls, "skylake", mit, trh)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig3Row{mit, trh, cl, sl})
+		}
+	}
+	return rows, nil
+}
+
+// FormatFig3 renders Figure 3 rows as a table.
+func FormatFig3(rows []Fig3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: normalized performance vs T_RH (Intel mappings)\n")
+	fmt.Fprintf(&b, "%-12s %6s %12s %12s\n", "mitigation", "T_RH", "CoffeeLake", "Skylake")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %6d %12.3f %12.3f\n", r.Mitigation, r.TRH, r.CoffeeLake, r.Skylake)
+	}
+	return b.String()
+}
+
+// --- Table 2: workload characteristics -------------------------------------------
+
+// Table2Row is one workload's characterization.
+type Table2Row struct {
+	Workload   string
+	MPKI       float64
+	UniqueRows float64
+	Hot64      int
+	Hot512     int
+}
+
+// Table2 characterizes the SPEC suite on the unprotected Coffee Lake
+// baseline.
+func (s *Suite) Table2() ([]Table2Row, error) {
+	keys := make([]runKey, 0, len(s.opts.Workloads))
+	for _, wl := range s.opts.Workloads {
+		keys = append(keys, runKey{wl, "coffeelake", "none", 128, false})
+	}
+	if err := s.Prefetch(keys); err != nil {
+		return nil, err
+	}
+	var rows []Table2Row
+	for _, wl := range s.opts.Workloads {
+		res, err := s.Run(wl, "coffeelake", "none", 128, false)
+		if err != nil {
+			return nil, err
+		}
+		p, err := workload.SpecByName(wl)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{
+			Workload:   wl,
+			MPKI:       p.MPKI,
+			UniqueRows: res.DRAM.MeanUniqueRows(),
+			Hot64:      res.DRAM.TotalHot64(),
+			Hot512:     res.DRAM.TotalHot512(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders Table 2 rows.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: workload characteristics (CoffeeLake, unprotected)\n")
+	fmt.Fprintf(&b, "%-12s %8s %12s %10s %10s\n", "workload", "MPKI", "uniq rows/w", "ACT-64+", "ACT-512+")
+	var sumU float64
+	var sum64, sum512 int
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %8.2f %12.0f %10d %10d\n", r.Workload, r.MPKI, r.UniqueRows, r.Hot64, r.Hot512)
+		sumU += r.UniqueRows
+		sum64 += r.Hot64
+		sum512 += r.Hot512
+	}
+	n := float64(len(rows))
+	if n > 0 {
+		fmt.Fprintf(&b, "%-12s %8s %12.0f %10.0f %10.0f\n", "average", "", sumU/n, float64(sum64)/n, float64(sum512)/n)
+	}
+	return b.String()
+}
+
+// --- Figure 4: illustrative microkernels ------------------------------------------
+
+// Fig4Row reports one kernel under one mapping.
+type Fig4Row struct {
+	Kernel   string
+	Mapping  string
+	HotRows  int
+	Analytic float64 // closed-form expectation (randomized mapping only)
+}
+
+// Fig4 reproduces the illustrative model: a 4 GB single-bank memory with
+// 4 KB rows, three kernels with a 4 MB footprint and 1M accesses, under the
+// sequential and the encrypted (Rubix-S GS1) mapping.
+func (s *Suite) Fig4() ([]Fig4Row, error) {
+	g := geom.Illustrative4GB()
+	const footprintLines = 4 << 20 / 64 // 4 MB
+	const accesses = 1_000_000
+
+	kernels := []struct {
+		name string
+		gen  func() workload.Generator
+	}{
+		{"stream", func() workload.Generator { return workload.NewStream(0, footprintLines) }},
+		{"stride-64", func() workload.Generator { return workload.NewStride(0, footprintLines, 64) }},
+		{"random", func() workload.Generator { return workload.NewRandom(0, footprintLines, s.opts.Seed) }},
+	}
+
+	var rows []Fig4Row
+	for _, mapName := range []string{"sequential", "rubixs-gs1"} {
+		for _, k := range kernels {
+			hot, err := s.runKernel(g, mapName, k.gen(), accesses)
+			if err != nil {
+				return nil, err
+			}
+			row := Fig4Row{Kernel: k.name, Mapping: mapName, HotRows: hot}
+			if mapName == "rubixs-gs1" {
+				acts := 1.0 // stride & random: every access activates
+				if k.name == "stream" || k.name == "stride-64" {
+					// With randomization, each line is accessed ~16 times
+					// (1M accesses / 64K lines); a row holding k lines gets
+					// ~16k activations.
+					acts = 1.0
+				}
+				row.Analytic = analytic.HotRows(accesses, footprintLines, g.TotalRows(), 64, acts)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// runKernel drives a raw generator through a mapping into a DRAM module
+// with no core model (back-to-back accesses, as in the Figure 4 model) and
+// returns the hot-row (>=64 ACTs) count.
+func (s *Suite) runKernel(g geom.Geometry, mapName string, gen workload.Generator, accesses int) (int, error) {
+	mapper, err := MapperFor(mapName, g, s.opts.Seed)
+	if err != nil {
+		return 0, err
+	}
+	// The Figure 4 model is deliberately simple: an open-page policy with
+	// no adaptive close, so a streaming kernel pays one activation per row.
+	timing := dram.DDR4_2400()
+	timing.OpenMax = 1 << 30
+	mod := dram.New(dram.Config{Geometry: g, Timing: timing})
+	now := 0.0
+	for i := 0; i < accesses; i++ {
+		phys := mapper.Map(gen.Next())
+		res := mod.Access(phys, now)
+		now = res.Completion
+	}
+	return mod.Finalize().TotalHot64(), nil
+}
+
+// FormatFig4 renders Figure 4 rows.
+func FormatFig4(rows []Fig4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: hot rows of illustrative kernels (4GB, 4KB rows, 4MB footprint, 1M accesses)\n")
+	fmt.Fprintf(&b, "%-12s %-12s %10s %12s\n", "kernel", "mapping", "hot rows", "analytic")
+	for _, r := range rows {
+		an := ""
+		if r.Analytic != 0 {
+			an = fmt.Sprintf("%.2f", r.Analytic)
+		}
+		fmt.Fprintf(&b, "%-12s %-12s %10d %12s\n", r.Kernel, r.Mapping, r.HotRows, an)
+	}
+	return b.String()
+}
+
+// --- Table 3: activating lines per hot row ------------------------------------------
+
+// Table3Row reports the activating-line distribution for one workload.
+type Table3Row struct {
+	Workload   string
+	HotRows    int
+	Pct1to32   float64
+	Pct32to64  float64
+	Pct64to128 float64
+	AvgLines   float64
+}
+
+// Table3 measures, for each hot row on the baseline mapping, how many
+// distinct lines contributed activations (workloads with 100+ hot rows).
+func (s *Suite) Table3() ([]Table3Row, error) {
+	keys := make([]runKey, 0, len(s.opts.Workloads))
+	for _, wl := range s.opts.Workloads {
+		keys = append(keys, runKey{wl, "coffeelake", "none", 128, true})
+	}
+	if err := s.Prefetch(keys); err != nil {
+		return nil, err
+	}
+	var rows []Table3Row
+	for _, wl := range s.opts.Workloads {
+		res, err := s.Run(wl, "coffeelake", "none", 128, true)
+		if err != nil {
+			return nil, err
+		}
+		var buckets [3]int
+		lineSum, hot := 0, 0
+		for _, w := range res.DRAM.Windows {
+			for i := range buckets {
+				buckets[i] += w.LineBuckets[i]
+			}
+			lineSum += w.LineSum
+			hot += w.Hot64
+		}
+		if hot < 100 {
+			continue
+		}
+		rows = append(rows, Table3Row{
+			Workload:   wl,
+			HotRows:    hot,
+			Pct1to32:   100 * float64(buckets[0]) / float64(hot),
+			Pct32to64:  100 * float64(buckets[1]) / float64(hot),
+			Pct64to128: 100 * float64(buckets[2]) / float64(hot),
+			AvgLines:   float64(lineSum) / float64(hot),
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable3 renders Table 3 rows.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: activating lines per hot row (workloads with 100+ hot rows)\n")
+	fmt.Fprintf(&b, "%-12s %9s %8s %8s %9s %9s\n", "workload", "hot rows", "1-32", "32-64", "64-128", "avg lines")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %9d %7.1f%% %7.1f%% %8.1f%% %9.1f\n",
+			r.Workload, r.HotRows, r.Pct1to32, r.Pct32to64, r.Pct64to128, r.AvgLines)
+	}
+	return b.String()
+}
+
+// --- Figure 7 / Figure 12: hot-row census ---------------------------------------------
+
+// HotRowsRow reports hot-row counts for one workload across mappings.
+type HotRowsRow struct {
+	Workload string
+	Counts   []int // aligned with the mapping list passed in
+}
+
+// HotRows counts ACT-64+ hot rows per workload for each mapping (Figure 7
+// uses {coffeelake, skylake, rubixs-gs4}; Figure 12 adds the other Rubix
+// variants, averaged over workloads).
+func (s *Suite) HotRows(mappings []string) ([]HotRowsRow, error) {
+	var keys []runKey
+	for _, wl := range s.opts.Workloads {
+		for _, m := range mappings {
+			keys = append(keys, runKey{wl, m, "none", 128, false})
+		}
+	}
+	if err := s.Prefetch(keys); err != nil {
+		return nil, err
+	}
+	var rows []HotRowsRow
+	for _, wl := range s.opts.Workloads {
+		row := HotRowsRow{Workload: wl}
+		for _, m := range mappings {
+			res, err := s.Run(wl, m, "none", 128, false)
+			if err != nil {
+				return nil, err
+			}
+			row.Counts = append(row.Counts, res.DRAM.TotalHot64())
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatHotRows renders a hot-row census.
+func FormatHotRows(title string, mappings []string, rows []HotRowsRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-12s", title, "workload")
+	for _, m := range mappings {
+		fmt.Fprintf(&b, " %14s", m)
+	}
+	fmt.Fprintln(&b)
+	sums := make([]float64, len(mappings))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s", r.Workload)
+		for i, c := range r.Counts {
+			fmt.Fprintf(&b, " %14d", c)
+			sums[i] += float64(c)
+		}
+		fmt.Fprintln(&b)
+	}
+	if len(rows) > 0 {
+		fmt.Fprintf(&b, "%-12s", "mean")
+		for _, s := range sums {
+			fmt.Fprintf(&b, " %14.1f", s/float64(len(rows)))
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// --- Figure 8 / Figure 13: per-workload performance at TRH 128 ---------------------------
+
+// PerfRow reports normalized performance for one workload across mappings.
+type PerfRow struct {
+	Workload string
+	Perf     []float64 // aligned with mappings
+}
+
+// PerfAtTRH evaluates one mitigation at the given threshold across the
+// mappings, per workload, normalized to unprotected Coffee Lake.
+func (s *Suite) PerfAtTRH(mit string, trh int, mappings []string) ([]PerfRow, error) {
+	wls := s.opts.allWorkloadNames()
+	var keys []runKey
+	for _, wl := range wls {
+		keys = append(keys, runKey{wl, "coffeelake", "none", trh, false})
+		for _, m := range mappings {
+			keys = append(keys, runKey{wl, m, mit, trh, false})
+		}
+	}
+	if err := s.Prefetch(keys); err != nil {
+		return nil, err
+	}
+	var rows []PerfRow
+	for _, wl := range wls {
+		row := PerfRow{Workload: wl}
+		for _, m := range mappings {
+			v, err := s.NormPerf(wl, m, mit, trh)
+			if err != nil {
+				return nil, err
+			}
+			row.Perf = append(row.Perf, v)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatPerf renders per-workload performance rows.
+func FormatPerf(title string, mappings []string, rows []PerfRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-12s", title, "workload")
+	for _, m := range mappings {
+		fmt.Fprintf(&b, " %14s", m)
+	}
+	fmt.Fprintln(&b)
+	sums := make([]float64, len(mappings))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s", r.Workload)
+		for i, v := range r.Perf {
+			fmt.Fprintf(&b, " %14.3f", v)
+			sums[i] += v
+		}
+		fmt.Fprintln(&b)
+	}
+	if len(rows) > 0 {
+		fmt.Fprintf(&b, "%-12s", "mean")
+		for _, s := range sums {
+			fmt.Fprintf(&b, " %14.3f", s/float64(len(rows)))
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// --- Figure 9 / Table 4 / §4.8 / §4.9: gang-size sensitivity ------------------------------
+
+// GangSizeRow reports the average slowdown of one configuration.
+type GangSizeRow struct {
+	Mapping     string
+	Mitigation  string
+	SlowdownPct float64
+	HitRate     float64
+	PowerMW     float64
+	HotRows     float64
+}
+
+// GangSweep measures mean slowdown, hit rate, power, and hot rows for each
+// (mapping, mitigation) pair over the SPEC workloads.
+func (s *Suite) GangSweep(mappings, mitigations []string, trh int) ([]GangSizeRow, error) {
+	wls := s.opts.Workloads
+	var keys []runKey
+	for _, wl := range wls {
+		keys = append(keys, runKey{wl, "coffeelake", "none", trh, false})
+		for _, m := range mappings {
+			for _, mit := range mitigations {
+				keys = append(keys, runKey{wl, m, mit, trh, false})
+			}
+		}
+	}
+	if err := s.Prefetch(keys); err != nil {
+		return nil, err
+	}
+	var rows []GangSizeRow
+	for _, m := range mappings {
+		for _, mit := range mitigations {
+			var perf, hit, pow, hot float64
+			for _, wl := range wls {
+				v, err := s.NormPerf(wl, m, mit, trh)
+				if err != nil {
+					return nil, err
+				}
+				res, err := s.Run(wl, m, mit, trh, false)
+				if err != nil {
+					return nil, err
+				}
+				perf += v
+				hit += res.HitRate()
+				pow += res.PowerMW
+				hot += float64(res.DRAM.TotalHot64())
+			}
+			n := float64(len(wls))
+			rows = append(rows, GangSizeRow{
+				Mapping:     m,
+				Mitigation:  mit,
+				SlowdownPct: 100 * (1 - perf/n),
+				HitRate:     hit / n,
+				PowerMW:     pow / n,
+				HotRows:     hot / n,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatGangSweep renders gang-size sensitivity rows.
+func FormatGangSweep(title string, rows []GangSizeRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-18s %-12s %10s %8s %10s %10s\n",
+		title, "mapping", "mitigation", "slowdown", "RBHR", "power mW", "hot rows")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %-12s %9.2f%% %7.1f%% %10.0f %10.1f\n",
+			r.Mapping, r.Mitigation, r.SlowdownPct, 100*r.HitRate, r.PowerMW, r.HotRows)
+	}
+	return b.String()
+}
+
+// --- §5.4: remap rate bookkeeping ----------------------------------------------------
+
+// RemapStats reports Rubix-D remapping activity for one workload.
+type RemapStats struct {
+	Workload    string
+	Swaps       uint64
+	DemandActs  uint64
+	ExtraActPct float64 // extra activations as % of demand activations
+}
+
+// RemapRate measures Rubix-D swap overhead (§5.4 expects ~1.5% extra
+// activations at a 1% remap rate, since half the episodes skip).
+func (s *Suite) RemapRate(gs int) ([]RemapStats, error) {
+	mapName := fmt.Sprintf("rubixd-gs%d", gs)
+	var keys []runKey
+	for _, wl := range s.opts.Workloads {
+		keys = append(keys, runKey{wl, mapName, "none", 128, false})
+	}
+	if err := s.Prefetch(keys); err != nil {
+		return nil, err
+	}
+	var rows []RemapStats
+	for _, wl := range s.opts.Workloads {
+		res, err := s.Run(wl, mapName, "none", 128, false)
+		if err != nil {
+			return nil, err
+		}
+		r := RemapStats{Workload: wl, Swaps: res.RemapSwaps, DemandActs: res.DRAM.DemandActs}
+		if res.DRAM.DemandActs > 0 {
+			r.ExtraActPct = 100 * float64(res.DRAM.ExtraActs) / float64(res.DRAM.DemandActs)
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// --- Sorting helper used by reports ---------------------------------------------------
+
+// SortRowsByHotness orders Table 2 rows the way the paper prints them
+// (descending ACT-64+).
+func SortRowsByHotness(rows []Table2Row) {
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Hot64 > rows[j].Hot64 })
+}

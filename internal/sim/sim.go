@@ -1,0 +1,314 @@
+// Package sim wires the substrates into a runnable system — workloads →
+// cores → memory controller (mapping + mitigation) → DRAM — and provides
+// the experiment harness that regenerates every table and figure of the
+// paper's evaluation.
+package sim
+
+import (
+	"fmt"
+
+	"rubix/internal/core"
+	"rubix/internal/cpu"
+	"rubix/internal/dram"
+	"rubix/internal/geom"
+	"rubix/internal/kcipher"
+	"rubix/internal/mapping"
+	"rubix/internal/memctrl"
+	"rubix/internal/mitigation"
+	"rubix/internal/power"
+	"rubix/internal/workload"
+)
+
+// MapperFor constructs a mapping by name for geometry g. Names:
+// sequential, coffeelake, skylake, mop, largestride-gs{1,2,4},
+// rubixs-gs{1,2,4}, rubixd-gs{1,2,4}, staticxor-gs{1,2,4}.
+func MapperFor(name string, g geom.Geometry, seed uint64) (mapping.Mapper, error) {
+	switch name {
+	case "sequential":
+		return mapping.NewSequential(), nil
+	case "coffeelake":
+		return mapping.NewCoffeeLake(g), nil
+	case "skylake":
+		return mapping.NewSkylake(g)
+	case "mop":
+		return mapping.NewMOP(g), nil
+	}
+	var gs int
+	var base string
+	if n, err := fmt.Sscanf(name, "rubixs-gs%d", &gs); n == 1 && err == nil {
+		base = "rubixs"
+	} else if n, err := fmt.Sscanf(name, "rubixd-gs%d", &gs); n == 1 && err == nil {
+		base = "rubixd"
+	} else if n, err := fmt.Sscanf(name, "staticxor-gs%d", &gs); n == 1 && err == nil {
+		base = "staticxor"
+	} else if n, err := fmt.Sscanf(name, "largestride-gs%d", &gs); n == 1 && err == nil {
+		base = "largestride"
+	} else {
+		return nil, fmt.Errorf("sim: unknown mapping %q", name)
+	}
+	switch base {
+	case "rubixs":
+		return core.NewRubixS(g, gs, kcipher.KeyFromSeed(seed))
+	case "rubixd":
+		return core.NewRubixD(g, core.RubixDConfig{GangSize: gs, RemapRate: 0.01, Seed: seed})
+	case "staticxor":
+		return core.NewStaticXOR(g, gs, seed)
+	case "largestride":
+		return mapping.NewLargeStride(g, gs)
+	}
+	panic("unreachable")
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Geometry geom.Geometry
+	Timing   dram.Timing
+	TRH      int // Rowhammer threshold (watchdog + mitigation threshold)
+
+	// MappingName selects the line-to-row mapping (see MapperFor).
+	MappingName string
+	// CustomMapper, when non-nil, overrides MappingName — used by ablation
+	// studies that need non-default mapping parameters (remap rate,
+	// v-segments).
+	CustomMapper mapping.Mapper
+	// MitigationName selects the Rowhammer mitigation: none, aqua, srs,
+	// blockhammer, trr, para, dsac.
+	MitigationName string
+	// MitigationFactory, when non-nil, overrides MitigationName — used by
+	// ablation studies that need non-default mitigation parameters
+	// (alternative trackers, custom thresholds).
+	MitigationFactory func(*dram.Module) (mitigation.Mitigator, error)
+
+	// Workloads holds one profile per core.
+	Workloads []workload.Profile
+	// InstrPerCore is the retirement target per core (paper: 250M).
+	InstrPerCore uint64
+
+	Core       cpu.Config
+	Seed       uint64
+	LineCensus bool // enable the Table 3 activating-line census
+	// MapLatencyNs overrides the mapping pipeline latency (default: 1 ns
+	// for Rubix-S — the 3-cycle K-Cipher — and 0.33 ns for XOR mappings).
+	MapLatencyNs float64
+	// WriteFraction marks this share of memory accesses as writebacks
+	// (0 = read-only traffic, the evaluation default).
+	WriteFraction float64
+	// LatencyHist collects the per-access memory latency distribution
+	// (Result.DRAM.Latency).
+	LatencyHist bool
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Config      string
+	Mapping     string
+	Mitigation  string
+	IPC         []float64 // per core
+	MeanIPC     float64
+	ElapsedNs   float64 // simulated time (max over cores)
+	DRAM        *dram.Stats
+	Mitigations uint64
+	RemapSwaps  uint64
+	PowerMW     float64
+	// Per-workload names aligned with IPC.
+	WorkloadNames []string
+}
+
+// HitRate is a convenience accessor for the run's row-buffer hit rate.
+func (r *Result) HitRate() float64 { return r.DRAM.HitRate() }
+
+// Run executes one simulation and returns its results.
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Workloads) == 0 {
+		return nil, fmt.Errorf("sim: no workloads configured")
+	}
+	if cfg.InstrPerCore == 0 {
+		cfg.InstrPerCore = 250_000_000
+	}
+	if cfg.Core == (cpu.Config{}) {
+		cfg.Core = cpu.DefaultConfig()
+	}
+	if cfg.Timing == (dram.Timing{}) {
+		cfg.Timing = dram.DDR4_2400()
+	}
+
+	mapper := cfg.CustomMapper
+	if mapper == nil {
+		var err error
+		mapper, err = MapperFor(cfg.MappingName, cfg.Geometry, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	mod := dram.New(dram.Config{
+		Geometry:    cfg.Geometry,
+		Timing:      cfg.Timing,
+		TRH:         cfg.TRH,
+		LineCensus:  cfg.LineCensus,
+		LatencyHist: cfg.LatencyHist,
+	})
+	var mit mitigation.Mitigator
+	var err error
+	if cfg.MitigationFactory != nil {
+		mit, err = cfg.MitigationFactory(mod)
+	} else {
+		mit, err = mitigation.ByName(cfg.MitigationName, mod, cfg.TRH, cfg.Seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	lat := cfg.MapLatencyNs
+	if lat == 0 {
+		lat = defaultMapLatency(cfg.MappingName, cfg.Core.FreqGHz)
+	}
+	ctrl := memctrl.New(memctrl.Config{
+		DRAM: mod, Map: mapper, Mit: mit,
+		MapLatencyNs: lat, WriteFraction: cfg.WriteFraction,
+	})
+
+	cores := make([]*cpu.Core, len(cfg.Workloads))
+	for i, p := range cfg.Workloads {
+		cores[i] = cpu.New(i, cfg.Core, p, cfg.InstrPerCore, cfg.Seed+uint64(i)*7919+1)
+	}
+
+	// Event loop: always advance the earliest core so accesses reach the
+	// controller in (approximately) global time order.
+	for {
+		var next *cpu.Core
+		for _, c := range cores {
+			if c.Done() {
+				continue
+			}
+			if next == nil || c.Now < next.Now {
+				next = c
+			}
+		}
+		if next == nil {
+			break
+		}
+		next.Step(ctrl.Access)
+	}
+
+	stats := mod.Finalize()
+	res := &Result{
+		Mapping:     mapper.Name(),
+		Mitigation:  mit.Name(),
+		IPC:         make([]float64, len(cores)),
+		DRAM:        stats,
+		Mitigations: mit.Mitigations(),
+		RemapSwaps:  ctrl.RemapSwaps(),
+	}
+	for i, c := range cores {
+		res.IPC[i] = c.IPC()
+		res.MeanIPC += c.IPC()
+		if c.Now > res.ElapsedNs {
+			res.ElapsedNs = c.Now
+		}
+		res.WorkloadNames = append(res.WorkloadNames, c.WorkloadName())
+	}
+	res.MeanIPC /= float64(len(cores))
+	res.PowerMW = power.DDR4DIMM16GB().Estimate(stats, res.ElapsedNs)
+	res.Config = fmt.Sprintf("%s/%s/TRH=%d", res.Mapping, res.Mitigation, cfg.TRH)
+	return res, nil
+}
+
+// defaultMapLatency models the address-translation pipeline latency: the
+// paper's K-Cipher takes 3 cycles; XOR-based translations take one.
+func defaultMapLatency(name string, freqGHz float64) float64 {
+	if freqGHz <= 0 {
+		freqGHz = 3
+	}
+	switch {
+	case len(name) >= 6 && name[:6] == "rubixs":
+		return 3 / freqGHz
+	default:
+		return 1 / freqGHz
+	}
+}
+
+// --- workload profile builders -------------------------------------------------
+
+// coreBase spreads per-core footprints across the program address space so
+// multiprogrammed workloads do not alias. A page-granular jitter keeps the
+// bases off power-of-two boundaries: perfectly aligned slices would alias
+// into the same rows under large-stride-style mappings, an artifact of the
+// synthetic layout rather than of the mapping under study.
+func coreBase(g geom.Geometry, coreID, cores int) uint64 {
+	slice := g.TotalLines() / uint64(cores)
+	// Page-granular, odd-multiplier jitter of up to half the slice: large
+	// enough that footprints land in disjoint row ranges under every
+	// mapping, odd so power-of-two strides cannot cancel it.
+	jitterPages := (uint64(coreID) * 296_873) % (slice / 128)
+	return uint64(coreID)*slice + jitterPages*64
+}
+
+// RateProfiles builds n copies of the named SPEC workload (SPEC "rate"
+// mode), one per core, with disjoint footprints and decorrelated seeds.
+func RateProfiles(name string, n int, g geom.Geometry, seed uint64) ([]workload.Profile, error) {
+	p, err := workload.SpecByName(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]workload.Profile, n)
+	for i := 0; i < n; i++ {
+		gen := workload.NewSpec(p, coreBase(g, i, n), seed+uint64(i)*104729+11)
+		out[i] = workload.Profile{Gen: gen, MPKI: p.MPKI, MLP: p.MLP}
+	}
+	return out, nil
+}
+
+// MixProfiles builds the paper's mixN workload (1-based index into
+// workload.MixTable), one distinct SPEC workload per core.
+func MixProfiles(mix int, g geom.Geometry, seed uint64) ([]workload.Profile, error) {
+	table := workload.MixTable()
+	if mix < 1 || mix > len(table) {
+		return nil, fmt.Errorf("sim: mix index %d out of range 1..%d", mix, len(table))
+	}
+	names := table[mix-1]
+	out := make([]workload.Profile, len(names))
+	for i, name := range names {
+		p, err := workload.SpecByName(name)
+		if err != nil {
+			return nil, err
+		}
+		gen := workload.NewSpec(p, coreBase(g, i, len(names)), seed+uint64(i)*104729+11)
+		out[i] = workload.Profile{Gen: gen, MPKI: p.MPKI, MLP: p.MLP}
+	}
+	return out, nil
+}
+
+// ProfilesFor resolves a workload name that is either a SPEC workload, a
+// mix ("mix1".."mix16"), or a STREAM kernel ("stream-copy" etc.).
+func ProfilesFor(name string, cores int, g geom.Geometry, seed uint64) ([]workload.Profile, error) {
+	var mix int
+	if n, err := fmt.Sscanf(name, "mix%d", &mix); n == 1 && err == nil {
+		return MixProfiles(mix, g, seed)
+	}
+	for k := workload.StreamCopy; k <= workload.StreamTriad; k++ {
+		if name == "stream-"+k.String() {
+			return StreamProfiles(k, cores, g, seed)
+		}
+	}
+	return RateProfiles(name, cores, g, seed)
+}
+
+// StreamProfiles builds n copies of a STREAM kernel with 1 GiB arrays
+// (§5.13), one per core.
+func StreamProfiles(k workload.StreamKernel, n int, g geom.Geometry, seed uint64) ([]workload.Profile, error) {
+	arrayBytes := uint64(1) << 30
+	// Three arrays of 1 GiB per core must fit in the per-core slice of the
+	// address space; shrink proportionally on small geometries.
+	perCore := g.TotalLines() / uint64(n) * 64
+	for arrayBytes*3 > perCore {
+		arrayBytes /= 2
+	}
+	if arrayBytes == 0 {
+		return nil, fmt.Errorf("sim: geometry too small for STREAM")
+	}
+	out := make([]workload.Profile, n)
+	for i := 0; i < n; i++ {
+		gen := workload.NewStreamSuite(k, coreBase(g, i, n), arrayBytes)
+		out[i] = workload.Profile{Gen: gen, MPKI: workload.StreamMPKI, MLP: 8}
+	}
+	return out, nil
+}

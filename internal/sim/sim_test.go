@@ -1,0 +1,320 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"rubix/internal/geom"
+)
+
+func runN(t *testing.T, wl, mapName, mitName string, trh int, instr uint64) *Result {
+	t.Helper()
+	g := geom.DDR4_16GB()
+	profiles, err := ProfilesFor(wl, 4, g, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Geometry:       g,
+		TRH:            trh,
+		MappingName:    mapName,
+		MitigationName: mitName,
+		Workloads:      profiles,
+		InstrPerCore:   instr,
+		Seed:           42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func smallRun(t *testing.T, wl, mapName, mitName string, trh int) *Result {
+	return runN(t, wl, mapName, mitName, trh, 8_000_000)
+}
+
+// hotRun uses enough instructions for mcf to form hot rows.
+func hotRun(t *testing.T, wl, mapName, mitName string, trh int) *Result {
+	return runN(t, wl, mapName, mitName, trh, 50_000_000)
+}
+
+func TestMapperForAllNames(t *testing.T) {
+	g := geom.DDR4_16GB()
+	names := []string{
+		"sequential", "coffeelake", "skylake", "mop",
+		"largestride-gs1", "largestride-gs4",
+		"rubixs-gs1", "rubixs-gs2", "rubixs-gs4",
+		"rubixd-gs1", "rubixd-gs2", "rubixd-gs4",
+		"staticxor-gs1", "staticxor-gs2", "staticxor-gs4",
+	}
+	for _, n := range names {
+		m, err := MapperFor(n, g, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if m.Name() == "" {
+			t.Fatalf("%s: empty mapper name", n)
+		}
+	}
+	if _, err := MapperFor("bogus", g, 1); err == nil {
+		t.Fatal("unknown mapping accepted")
+	}
+	if _, err := MapperFor("rubixs-gs3", g, 1); err == nil {
+		t.Fatal("invalid gang size accepted")
+	}
+}
+
+func TestRunProducesSaneResult(t *testing.T) {
+	res := smallRun(t, "gcc", "coffeelake", "none", 128)
+	if len(res.IPC) != 4 {
+		t.Fatalf("IPC entries = %d, want 4 cores", len(res.IPC))
+	}
+	for i, ipc := range res.IPC {
+		if ipc <= 0 || ipc > 2.6 {
+			t.Fatalf("core %d IPC %.2f implausible", i, ipc)
+		}
+	}
+	if res.ElapsedNs <= 0 {
+		t.Fatal("no simulated time")
+	}
+	if res.DRAM.Accesses == 0 {
+		t.Fatal("no memory traffic")
+	}
+	if res.PowerMW < 1000 || res.PowerMW > 6000 {
+		t.Fatalf("power %.0f mW out of range", res.PowerMW)
+	}
+	if !strings.Contains(res.Config, "CoffeeLake") {
+		t.Fatalf("config string %q missing mapping", res.Config)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	g := geom.DDR4_16GB()
+	profiles, _ := ProfilesFor("gcc", 4, g, 1)
+	if _, err := Run(Config{Geometry: g, MappingName: "bogus", MitigationName: "none", Workloads: profiles}); err == nil {
+		t.Fatal("bad mapping accepted")
+	}
+	if _, err := Run(Config{Geometry: g, MappingName: "coffeelake", MitigationName: "bogus", Workloads: profiles}); err == nil {
+		t.Fatal("bad mitigation accepted")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	a := smallRun(t, "mcf", "rubixd-gs4", "srs", 128)
+	b := smallRun(t, "mcf", "rubixd-gs4", "srs", 128)
+	if a.MeanIPC != b.MeanIPC || a.DRAM.Accesses != b.DRAM.Accesses ||
+		a.Mitigations != b.Mitigations || a.RemapSwaps != b.RemapSwaps {
+		t.Fatal("identical configs must replay identically")
+	}
+}
+
+func TestRubixReducesHotRows(t *testing.T) {
+	base := hotRun(t, "mcf", "coffeelake", "none", 128)
+	rub := hotRun(t, "mcf", "rubixs-gs1", "none", 128)
+	if base.DRAM.TotalHot64() == 0 {
+		t.Fatal("baseline mcf should have hot rows even at small scale")
+	}
+	if rub.DRAM.TotalHot64() >= base.DRAM.TotalHot64()/10 {
+		t.Fatalf("Rubix-S GS1 hot rows %d vs baseline %d: want >10x reduction",
+			rub.DRAM.TotalHot64(), base.DRAM.TotalHot64())
+	}
+}
+
+func TestRubixReducesMitigations(t *testing.T) {
+	base := hotRun(t, "mcf", "coffeelake", "aqua", 128)
+	rub := hotRun(t, "mcf", "rubixs-gs4", "aqua", 128)
+	if base.Mitigations == 0 {
+		t.Fatal("baseline AQUA on mcf should migrate")
+	}
+	if rub.Mitigations*10 > base.Mitigations {
+		t.Fatalf("Rubix migrations %d vs baseline %d: want >10x reduction",
+			rub.Mitigations, base.Mitigations)
+	}
+}
+
+func TestSecureMitigationsKeepWatchdogClean(t *testing.T) {
+	for _, mit := range []string{"aqua", "srs", "blockhammer"} {
+		for _, mapName := range []string{"coffeelake", "rubixs-gs4"} {
+			res := hotRun(t, "mcf", mapName, mit, 128)
+			if v := res.DRAM.TotalOverTRH(); v != 0 {
+				t.Errorf("%s/%s: %d rows exceeded TRH", mapName, mit, v)
+			}
+		}
+	}
+}
+
+func TestUnprotectedBaselineViolates(t *testing.T) {
+	res := hotRun(t, "mcf", "coffeelake", "none", 128)
+	if res.DRAM.TotalOverTRH() == 0 {
+		t.Fatal("unprotected mcf at TRH=128 should have watchdog violations")
+	}
+}
+
+func TestGangSizeTradeoff(t *testing.T) {
+	// Row-buffer hit rate must increase with gang size (§4.7-4.8).
+	hr := map[string]float64{}
+	for _, m := range []string{"rubixs-gs1", "rubixs-gs2", "rubixs-gs4"} {
+		hr[m] = smallRun(t, "lbm", m, "none", 128).HitRate()
+	}
+	if !(hr["rubixs-gs1"] < hr["rubixs-gs2"] && hr["rubixs-gs2"] < hr["rubixs-gs4"]) {
+		t.Fatalf("hit rates not ordered by gang size: %v", hr)
+	}
+	if hr["rubixs-gs1"] > 0.02 {
+		t.Fatalf("GS1 hit rate %.3f, want ~0", hr["rubixs-gs1"])
+	}
+}
+
+func TestRubixDRemapsDuringRun(t *testing.T) {
+	res := smallRun(t, "lbm", "rubixd-gs4", "none", 128)
+	if res.RemapSwaps == 0 {
+		t.Fatal("Rubix-D performed no swaps")
+	}
+	// §5.4: at RR=1% the extra-activation overhead is a few percent.
+	extra := float64(res.DRAM.ExtraActs) / float64(res.DRAM.DemandActs)
+	if extra <= 0 || extra > 0.06 {
+		t.Fatalf("remap ACT overhead %.3f, want ~0.015", extra)
+	}
+}
+
+func TestProfilesForVariants(t *testing.T) {
+	g := geom.DDR4_16GB()
+	if p, err := ProfilesFor("mix3", 4, g, 1); err != nil || len(p) != 4 {
+		t.Fatalf("mix3: %v (%d profiles)", err, len(p))
+	}
+	if p, err := ProfilesFor("stream-triad", 4, g, 1); err != nil || len(p) != 4 {
+		t.Fatalf("stream-triad: %v", err)
+	}
+	if _, err := ProfilesFor("mix99", 4, g, 1); err == nil {
+		t.Fatal("mix99 accepted")
+	}
+	if _, err := ProfilesFor("nosuchworkload", 4, g, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestRateProfilesDisjointFootprints(t *testing.T) {
+	g := geom.DDR4_16GB()
+	profiles, err := RateProfiles("gcc", 4, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quarter := g.TotalLines() / 4
+	for i, p := range profiles {
+		for j := 0; j < 1000; j++ {
+			a := p.Gen.Next()
+			if a/quarter != uint64(i) {
+				t.Fatalf("core %d accessed outside its address-space slice", i)
+			}
+		}
+	}
+}
+
+func TestMultiChannelRun(t *testing.T) {
+	g := geom.DDR4_32GB4Ch()
+	profiles, err := RateProfiles("gcc", 8, g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Geometry:       g,
+		TRH:            128,
+		MappingName:    "rubixs-gs4",
+		MitigationName: "aqua",
+		Workloads:      profiles,
+		InstrPerCore:   4_000_000,
+		Seed:           7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IPC) != 8 {
+		t.Fatalf("cores = %d, want 8", len(res.IPC))
+	}
+	if res.DRAM.TotalOverTRH() != 0 {
+		t.Fatal("watchdog violation on the 4-channel system")
+	}
+}
+
+func TestBestGS(t *testing.T) {
+	if BestGS("rubixs", "aqua") != "rubixs-gs4" {
+		t.Fatal("AQUA wants GS4")
+	}
+	if BestGS("rubixs", "blockhammer") != "rubixs-gs1" {
+		t.Fatal("BlockHammer wants GS1")
+	}
+	if BestGS("rubixd", "srs") != "rubixd-gs2" {
+		t.Fatal("Rubix-D SRS wants GS2")
+	}
+}
+
+func TestSuiteCachesRuns(t *testing.T) {
+	s := NewSuite(Options{Scale: 0.004, Workloads: []string{"xz"}, Mixes: []int{}})
+	r1, err := s.Run("xz", "coffeelake", "none", 128, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Run("xz", "coffeelake", "none", 128, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("cache returned a different result object")
+	}
+}
+
+func TestNormPerfBaselineIsOne(t *testing.T) {
+	s := NewSuite(Options{Scale: 0.004, Workloads: []string{"xz"}, Mixes: []int{}})
+	v, err := s.NormPerf("xz", "coffeelake", "none", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("baseline normalized to %v, want exactly 1", v)
+	}
+}
+
+func TestFig4MicrokernelShape(t *testing.T) {
+	s := NewSuite(Options{Scale: 1, Workloads: []string{}, Mixes: []int{}})
+	rows, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, r := range rows {
+		got[r.Kernel+"/"+r.Mapping] = r.HotRows
+	}
+	// Figure 4(c): sequential mapping: stream 0, stride-64 ~1K, random ~1K;
+	// encrypted mapping: all ~0.
+	if got["stream/sequential"] != 0 {
+		t.Errorf("stream/sequential hot rows = %d, want 0", got["stream/sequential"])
+	}
+	if v := got["stride-64/sequential"]; v < 900 || v > 1100 {
+		t.Errorf("stride-64/sequential hot rows = %d, want ~1K", v)
+	}
+	if v := got["random/sequential"]; v < 900 || v > 1100 {
+		t.Errorf("random/sequential hot rows = %d, want ~1K", v)
+	}
+	for _, k := range []string{"stream", "stride-64", "random"} {
+		if v := got[k+"/rubixs-gs1"]; v > 1 {
+			t.Errorf("%s/rubixs-gs1 hot rows = %d, want <= 1", k, v)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Scale != 1 || o.Cores != 4 || len(o.Workloads) != 18 || len(o.Mixes) != 16 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	if o.instrPerCore() != 250_000_000 {
+		t.Fatalf("instr budget = %d", o.instrPerCore())
+	}
+	// Empty (non-nil) mixes stay empty.
+	o2 := Options{Mixes: []int{}}.withDefaults()
+	if len(o2.Mixes) != 0 {
+		t.Fatal("explicit empty mixes overridden")
+	}
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"rubix/internal/rng"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Percentile(50) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for _, v := range []float64{1, 2, 4, 8, 16} {
+		h.Add(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 6.2 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Max() != 16 {
+		t.Fatalf("max = %v", h.Max())
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	var h Histogram
+	r := rng.NewXoshiro256(1)
+	for i := 0; i < 100000; i++ {
+		h.Add(float64(r.Intn(1000)))
+	}
+	// Log buckets guarantee ≤2x relative error.
+	p50 := h.Percentile(50)
+	if p50 < 250 || p50 > 1024 {
+		t.Fatalf("p50 = %v for uniform [0,1000)", p50)
+	}
+	p99 := h.Percentile(99)
+	if p99 < 512 || p99 > 2048 {
+		t.Fatalf("p99 = %v", p99)
+	}
+	if h.Percentile(100) < h.Percentile(50) {
+		t.Fatal("percentiles not monotone")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Add(-5)
+	if h.Percentile(100) > 1 {
+		t.Fatal("negative sample not clamped")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Add(10)
+	b.Add(1000)
+	a.Merge(&b)
+	if a.Count() != 2 || a.Max() != 1000 {
+		t.Fatalf("merge lost samples: n=%d max=%v", a.Count(), a.Max())
+	}
+}
+
+func TestHistogramRenders(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	if s := h.String(); !strings.Contains(s, "p99") {
+		t.Fatalf("summary missing fields: %s", s)
+	}
+	if bars := h.Bars(20); !strings.Contains(bars, "#") {
+		t.Fatalf("bars missing: %s", bars)
+	}
+	var empty Histogram
+	if empty.Bars(10) != "(empty)\n" {
+		t.Fatal("empty bars wrong")
+	}
+}
+
+func TestRunning(t *testing.T) {
+	var r Running
+	for _, v := range []float64{3, -1, 7} {
+		r.Add(v)
+	}
+	if r.N() != 3 || r.Mean() != 3 || r.Min() != -1 || r.Max() != 7 {
+		t.Fatalf("running stats wrong: %+v", r)
+	}
+	var empty Running
+	if empty.Mean() != 0 || empty.Min() != 0 {
+		t.Fatal("empty running should report zeros")
+	}
+}

@@ -1,0 +1,114 @@
+// Counting Bloom filter tracker — the structure the real BlockHammer
+// (Yağlıkçı et al., HPCA 2021) uses to blacklist rapidly-activated rows
+// with a few KB of SRAM instead of one counter per row. The paper's
+// evaluation idealizes BlockHammer's tracker as per-row counters; this CBF
+// implementation lets tracking-fidelity studies quantify what the
+// idealization hides (false-positive throttling of innocent rows).
+
+package tracker
+
+import "rubix/internal/rng"
+
+// CBF is a counting Bloom filter over row addresses. Like any Bloom
+// structure it never under-counts a row (no false negatives — the security
+// property), but hash collisions can over-count (false positives — an
+// innocent row may be reported).
+type CBF struct {
+	threshold uint32
+	counters  []uint32
+	mask      uint64
+	seeds     []uint64
+	reports   uint64
+}
+
+// CBFConfig configures NewCBF.
+type CBFConfig struct {
+	// Threshold is the report threshold (typically T_RH/2).
+	Threshold int
+	// Counters is the filter size (power of two; 0 = 32768, BlockHammer's
+	// dual-filter scale).
+	Counters int
+	// Hashes is the number of hash functions (0 = 4).
+	Hashes int
+	// Seed diversifies the hash functions.
+	Seed uint64
+}
+
+// NewCBF builds a counting-Bloom-filter tracker.
+func NewCBF(cfg CBFConfig) *CBF {
+	if cfg.Threshold < 1 {
+		cfg.Threshold = 1
+	}
+	if cfg.Counters == 0 {
+		cfg.Counters = 32768
+	}
+	if cfg.Counters < 2 || cfg.Counters&(cfg.Counters-1) != 0 {
+		cfg.Counters = 32768
+	}
+	if cfg.Hashes == 0 {
+		cfg.Hashes = 4
+	}
+	sm := rng.NewSplitMix64(cfg.Seed ^ 0xCBF)
+	seeds := make([]uint64, cfg.Hashes)
+	for i := range seeds {
+		seeds[i] = sm.Next()
+	}
+	return &CBF{
+		threshold: uint32(cfg.Threshold),
+		counters:  make([]uint32, cfg.Counters),
+		mask:      uint64(cfg.Counters) - 1,
+		seeds:     seeds,
+	}
+}
+
+// Name implements Tracker.
+func (c *CBF) Name() string { return "CountingBloomFilter" }
+
+// Estimate returns the filter's activation estimate for a row: the minimum
+// over its hash positions — an upper bound on the true count.
+func (c *CBF) Estimate(row uint64) uint32 {
+	min := uint32(1<<31 - 1)
+	for _, s := range c.seeds {
+		v := c.counters[rng.Mix64(row^s)&c.mask]
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// RecordACT implements Tracker: increment all hash positions; report when
+// the minimum reaches the threshold. Reporting clears the row's positions
+// down to zero, which may under-reset colliding rows — conservative in the
+// safe direction (they will be reported sooner, never later).
+func (c *CBF) RecordACT(row uint64) bool {
+	min := uint32(1<<31 - 1)
+	for _, s := range c.seeds {
+		idx := rng.Mix64(row^s) & c.mask
+		c.counters[idx]++
+		if c.counters[idx] < min {
+			min = c.counters[idx]
+		}
+	}
+	if min >= c.threshold {
+		for _, s := range c.seeds {
+			c.counters[rng.Mix64(row^s)&c.mask] = 0
+		}
+		c.reports++
+		return true
+	}
+	return false
+}
+
+// Count implements Counting: the filter's (over-)estimate.
+func (c *CBF) Count(row uint64) uint32 { return c.Estimate(row) }
+
+// Reset implements Tracker.
+func (c *CBF) Reset() { clear(c.counters) }
+
+// Reports returns the cumulative number of threshold reports.
+func (c *CBF) Reports() uint64 { return c.reports }
+
+// SizeBytes reports the filter's SRAM cost (2-byte counters suffice at the
+// thresholds studied).
+func (c *CBF) SizeBytes() int { return 2 * len(c.counters) }

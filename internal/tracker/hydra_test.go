@@ -1,0 +1,173 @@
+package tracker
+
+import (
+	"testing"
+
+	"rubix/internal/rng"
+)
+
+func TestHydraDetectsAggressor(t *testing.T) {
+	h := NewHydra(HydraConfig{Threshold: 64})
+	reported := false
+	for i := 0; i < 200 && !reported; i++ {
+		reported = h.RecordACT(42)
+	}
+	if !reported {
+		t.Fatal("Hydra missed a solo aggressor")
+	}
+}
+
+func TestHydraNeverUnderCounts(t *testing.T) {
+	// Security property: a row hammered N >= threshold times must be
+	// reported, regardless of interleaved noise (group counters only
+	// over-count).
+	h := NewHydra(HydraConfig{Threshold: 64, GroupSize: 64})
+	r := rng.NewXoshiro256(1)
+	reported := false
+	for i := 0; i < 64; i++ {
+		if h.RecordACT(999_999) {
+			reported = true
+		}
+		for j := 0; j < 8; j++ {
+			if h.RecordACT(r.Uint64n(100_000)) && false {
+				t.Log("noise reported (fine)")
+			}
+		}
+	}
+	if !reported {
+		t.Fatal("aggressor with exactly threshold activations escaped")
+	}
+}
+
+func TestHydraGroupGraduation(t *testing.T) {
+	h := NewHydra(HydraConfig{Threshold: 100, GroupSize: 8, GroupThresholdFrac: 0.5})
+	// 50 activations spread over the group warm it up (threshold 50).
+	for i := 0; i < 50; i++ {
+		h.RecordACT(uint64(i % 8))
+	}
+	if h.WarmGroups() != 1 {
+		t.Fatalf("warm groups = %d, want 1", h.WarmGroups())
+	}
+	// Further activations go to per-row counters.
+	h.RecordACT(3)
+	if h.TrackedRows() != 1 {
+		t.Fatalf("tracked rows = %d, want 1", h.TrackedRows())
+	}
+}
+
+func TestHydraSeedsRowCountPessimistically(t *testing.T) {
+	// After graduation, a row's counter starts at the group count, so it
+	// reports EARLIER than an exact tracker would — never later.
+	h := NewHydra(HydraConfig{Threshold: 64, GroupSize: 4, GroupThresholdFrac: 0.8})
+	acts := 0
+	reported := false
+	for i := 0; i < 64 && !reported; i++ {
+		reported = h.RecordACT(0)
+		acts++
+	}
+	if !reported {
+		t.Fatal("no report within threshold activations")
+	}
+	if acts > 64 {
+		t.Fatalf("reported after %d > 64 activations", acts)
+	}
+}
+
+func TestHydraReset(t *testing.T) {
+	h := NewHydra(HydraConfig{Threshold: 16, GroupSize: 8})
+	for i := 0; i < 15; i++ {
+		h.RecordACT(5)
+	}
+	h.Reset()
+	for i := 0; i < 15; i++ {
+		if h.RecordACT(5) {
+			t.Fatal("state survived Reset")
+		}
+	}
+}
+
+func TestHydraDefaults(t *testing.T) {
+	h := NewHydra(HydraConfig{Threshold: 0, GroupSize: 100, GroupThresholdFrac: 5})
+	if h.rowThreshold != 1 || h.groupShift != 7 {
+		t.Fatalf("defaults not applied: threshold %d shift %d", h.rowThreshold, h.groupShift)
+	}
+}
+
+func TestCBFNoFalseNegatives(t *testing.T) {
+	// A hammered row must be reported within threshold activations even
+	// amid noise: collisions only raise estimates.
+	c := NewCBF(CBFConfig{Threshold: 64, Counters: 4096, Seed: 1})
+	r := rng.NewXoshiro256(2)
+	acts := 0
+	reported := false
+	for i := 0; i < 64 && !reported; i++ {
+		reported = c.RecordACT(777)
+		acts++
+		for j := 0; j < 16; j++ {
+			c.RecordACT(r.Uint64n(1 << 20))
+		}
+	}
+	if !reported {
+		t.Fatalf("aggressor not reported within %d activations", acts)
+	}
+}
+
+func TestCBFEstimateUpperBounds(t *testing.T) {
+	c := NewCBF(CBFConfig{Threshold: 1000, Counters: 1 << 16, Seed: 3})
+	for i := 0; i < 37; i++ {
+		c.RecordACT(12345)
+	}
+	if est := c.Estimate(12345); est < 37 {
+		t.Fatalf("estimate %d under-counts true 37", est)
+	}
+}
+
+func TestCBFFalsePositivesExist(t *testing.T) {
+	// With a deliberately tiny filter, heavy traffic must cause innocent
+	// rows to report — the cost the paper's idealized tracker hides.
+	c := NewCBF(CBFConfig{Threshold: 64, Counters: 64, Hashes: 2, Seed: 4})
+	r := rng.NewXoshiro256(5)
+	reports := 0
+	for i := 0; i < 50000; i++ {
+		if c.RecordACT(r.Uint64n(1 << 30)) {
+			reports++
+		}
+	}
+	if reports == 0 {
+		t.Fatal("a saturated tiny CBF should misreport")
+	}
+}
+
+func TestCBFResetAndSize(t *testing.T) {
+	c := NewCBF(CBFConfig{Threshold: 8, Counters: 1024, Seed: 6})
+	for i := 0; i < 7; i++ {
+		c.RecordACT(9)
+	}
+	c.Reset()
+	if c.Estimate(9) != 0 {
+		t.Fatal("counters survived Reset")
+	}
+	if c.SizeBytes() != 2048 {
+		t.Fatalf("size = %d, want 2048", c.SizeBytes())
+	}
+}
+
+func TestCBFReportClearsRow(t *testing.T) {
+	c := NewCBF(CBFConfig{Threshold: 4, Counters: 1 << 14, Seed: 7})
+	for i := 0; i < 3; i++ {
+		if c.RecordACT(11) {
+			t.Fatal("early report")
+		}
+	}
+	if !c.RecordACT(11) {
+		t.Fatal("no report at threshold")
+	}
+	if c.Estimate(11) != 0 {
+		t.Fatal("row not cleared after report")
+	}
+}
+
+func TestHybridTrackersImplementInterface(t *testing.T) {
+	var _ Tracker = NewHydra(HydraConfig{Threshold: 4})
+	var _ Tracker = NewCBF(CBFConfig{Threshold: 4})
+}

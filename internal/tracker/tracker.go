@@ -1,0 +1,179 @@
+// Package tracker implements DRAM activation trackers: the components that
+// watch per-row activation counts and flag rows that reach a mitigation
+// threshold within the refresh window.
+//
+// Two trackers are provided, matching the paper's methodology (§3.1):
+//
+//   - MisraGries: the space-efficient heavy-hitters tracker used by AQUA and
+//     SRS. With capacity c it guarantees that any row with more than
+//     (ACTs in window)/c activations is tracked, so sizing c = window
+//     activation budget / threshold gives guaranteed detection.
+//
+//   - PerRow: the idealized SRAM tracker used for BlockHammer — one counter
+//     per row in memory, exact by construction.
+//
+// Trackers count *activations* (ACT commands), not accesses: row-buffer hits
+// do not disturb neighbouring rows. Counts reset every refresh window
+// (64 ms), which is why mitigations use a tracker threshold of T_RH/2.
+package tracker
+
+// Tracker watches row activations and reports rows reaching a threshold.
+type Tracker interface {
+	// Name identifies the tracker in reports.
+	Name() string
+	// RecordACT registers one activation of the given global row and
+	// reports whether the row has reached the mitigation threshold. When it
+	// returns true the tracker also resets its count for that row (the
+	// mitigation is assumed to neutralize the row's history).
+	RecordACT(row uint64) bool
+	// Reset clears all counts; called at every refresh-window boundary.
+	Reset()
+}
+
+// Counting is a Tracker that can also report its current in-window count
+// (or a safe over-estimate) for a row — what rate-control schemes like
+// BlockHammer consult for their blacklist decision. PerRow is exact; CBF
+// over-estimates (never under), which preserves the security property at
+// the cost of false-positive throttling.
+type Counting interface {
+	Tracker
+	Count(row uint64) uint32
+}
+
+// --- Misra-Gries -------------------------------------------------------------
+
+// MisraGries is a heavy-hitters activation tracker with a bounded number of
+// entries. The classic decrement-all step is implemented with a global
+// floor so each operation is O(1) amortized.
+type MisraGries struct {
+	threshold uint32
+	capacity  int
+	floor     uint32
+	counts    map[uint64]uint32 // stored as true count; entry live iff count > floor
+	reports   uint64
+}
+
+// NewMisraGries builds a tracker that reports a row when it accumulates
+// threshold activations, using at most capacity concurrent entries.
+// threshold must be >= 1 and capacity >= 1.
+func NewMisraGries(threshold int, capacity int) *MisraGries {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &MisraGries{
+		threshold: uint32(threshold),
+		capacity:  capacity,
+		counts:    make(map[uint64]uint32, capacity),
+	}
+}
+
+// Name implements Tracker.
+func (t *MisraGries) Name() string { return "Misra-Gries" }
+
+// RecordACT implements Tracker.
+func (t *MisraGries) RecordACT(row uint64) bool {
+	if c, ok := t.counts[row]; ok {
+		c++
+		if c-t.floor >= t.threshold {
+			// Report and reset: the mitigation acts on this row now.
+			delete(t.counts, row)
+			t.reports++
+			return true
+		}
+		t.counts[row] = c
+		return false
+	}
+	if len(t.counts) < t.capacity {
+		t.counts[row] = t.floor + 1
+		if 1 >= t.threshold {
+			delete(t.counts, row)
+			t.reports++
+			return true
+		}
+		return false
+	}
+	// Table full: Misra-Gries decrement-all, realized as floor increment
+	// with lazy eviction of entries that fall to the floor.
+	t.floor++
+	for r, c := range t.counts {
+		if c <= t.floor {
+			delete(t.counts, r)
+		}
+	}
+	return false
+}
+
+// Reset implements Tracker.
+func (t *MisraGries) Reset() {
+	t.floor = 0
+	clear(t.counts)
+}
+
+// Entries reports the number of live entries (for tests and sizing studies).
+func (t *MisraGries) Entries() int { return len(t.counts) }
+
+// Reports returns the cumulative number of threshold reports.
+func (t *MisraGries) Reports() uint64 { return t.reports }
+
+// --- Per-row counters ---------------------------------------------------------
+
+// PerRow is an exact tracker with one counter per row in memory, as assumed
+// for BlockHammer in the paper ("an idealized SRAM tracker with one counter
+// per row"). Resets are O(1) via epoch stamping.
+type PerRow struct {
+	threshold uint32
+	epoch     uint32
+	stamped   []uint32 // epoch of last update per row
+	counts    []uint32
+	reports   uint64
+}
+
+// NewPerRow builds an exact tracker over totalRows rows reporting at
+// threshold activations.
+func NewPerRow(threshold int, totalRows uint64) *PerRow {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &PerRow{
+		threshold: uint32(threshold),
+		epoch:     1,
+		stamped:   make([]uint32, totalRows),
+		counts:    make([]uint32, totalRows),
+	}
+}
+
+// Name implements Tracker.
+func (t *PerRow) Name() string { return "PerRowCounter" }
+
+// RecordACT implements Tracker.
+func (t *PerRow) RecordACT(row uint64) bool {
+	if t.stamped[row] != t.epoch {
+		t.stamped[row] = t.epoch
+		t.counts[row] = 0
+	}
+	t.counts[row]++
+	if t.counts[row] >= t.threshold {
+		t.counts[row] = 0
+		t.reports++
+		return true
+	}
+	return false
+}
+
+// Count returns the current in-window count for a row (0 if untouched this
+// window). Used by BlockHammer's throttle decision.
+func (t *PerRow) Count(row uint64) uint32 {
+	if t.stamped[row] != t.epoch {
+		return 0
+	}
+	return t.counts[row]
+}
+
+// Reset implements Tracker.
+func (t *PerRow) Reset() { t.epoch++ }
+
+// Reports returns the cumulative number of threshold reports.
+func (t *PerRow) Reports() uint64 { return t.reports }

@@ -1,0 +1,8 @@
+#!/bin/bash
+cd /root/repo
+BIN=./results/experiments2.bin
+go build -o $BIN ./cmd/experiments
+for exp in ablation-rr ablation-seg ablation-trr ablation-trackers ablation-policy ablation-writes; do
+  echo "== $exp"; $BIN -exp $exp -scale 0.5 > results/$exp.txt 2>&1
+done
+echo ABLATIONS-DONE

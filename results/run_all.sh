@@ -1,0 +1,16 @@
+#!/bin/bash
+# Regenerates all paper artifacts. Cheap experiments run at full scale;
+# the big performance sweeps run at scale 0.5 (ratios are stable).
+cd /root/repo
+BIN=./results/experiments.bin
+go build -o $BIN ./cmd/experiments
+for exp in table2 fig4 table3 fig7 sec5.4; do
+  echo "== $exp (scale 1.0)"; $BIN -exp $exp -scale 1.0 > results/$exp.txt 2>&1
+done
+for exp in fig12 table4 sec4.8 sec4.9 sec6.1 sec6.2 fig9; do
+  echo "== $exp (scale 0.5)"; $BIN -exp $exp -scale 0.5 > results/$exp.txt 2>&1
+done
+for exp in fig8 fig13 fig3 fig14 table5 fig16 fig17 fig15; do
+  echo "== $exp (scale 0.5)"; $BIN -exp $exp -scale 0.5 > results/$exp.txt 2>&1
+done
+echo ALL-DONE

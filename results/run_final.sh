@@ -1,0 +1,12 @@
+#!/bin/bash
+cd /root/repo
+BIN=./results/experiments2.bin
+go build -o $BIN ./cmd/experiments
+for exp in table5 fig17 fig15; do
+  echo "== $exp (scale 0.2)"; $BIN -exp $exp -scale 0.2 > results/$exp.txt 2>&1
+done
+echo "== fig16 (scale 0.1)"; $BIN -exp fig16 -scale 0.1 > results/fig16.txt 2>&1
+for exp in ablation-rr ablation-seg ablation-trr ablation-trackers ablation-policy ablation-writes; do
+  echo "== $exp (scale 0.2)"; $BIN -exp $exp -scale 0.2 -workloads blender,lbm,gcc,mcf,roms,xz,leela -mixes=false > results/$exp.txt 2>&1
+done
+echo FINAL-DONE

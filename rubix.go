@@ -1,0 +1,160 @@
+// Package rubix is a from-scratch reproduction of "Rubix: Reducing the
+// Overhead of Secure Rowhammer Mitigations via Randomized Line-to-Row
+// Mapping" (Saxena, Mathur, Qureshi — ASPLOS 2024).
+//
+// It bundles a complete memory-system simulation stack — DRAM bank/bus
+// timing, memory-controller policies, Rowhammer activation trackers, the
+// secure mitigations AQUA / SRS / BlockHammer (plus victim-refresh TRR),
+// Intel-style baseline address mappings, and calibrated SPEC CPU2017
+// workload stand-ins — together with the paper's contribution: the Rubix-S
+// (encrypted gang address) and Rubix-D (dynamic XOR v-group remapping)
+// randomized line-to-row mappings.
+//
+// # Quick start
+//
+//	profiles, _ := rubix.Profiles("gcc", 4, rubix.DefaultGeometry(), 42)
+//	res, _ := rubix.Run(rubix.Config{
+//		Geometry:       rubix.DefaultGeometry(),
+//		TRH:            128,
+//		MappingName:    "rubixs-gs4",
+//		MitigationName: "aqua",
+//		Workloads:      profiles,
+//	})
+//	fmt.Printf("IPC %.2f, hot rows %d\n", res.MeanIPC, res.DRAM.TotalHot64())
+//
+// # Experiments
+//
+// Every table and figure of the paper's evaluation has a runner on Suite
+// (Fig3, Table2, Fig4, Table3, HotRows, PerfAtTRH, GangSweep, RemapRate);
+// cmd/experiments exposes them on the command line and bench_test.go wires
+// one benchmark per artifact.
+//
+// The simulator is deterministic: identical Config (including Seed) replays
+// identically.
+package rubix
+
+import (
+	"io"
+
+	"rubix/internal/core"
+	"rubix/internal/dram"
+	"rubix/internal/geom"
+	"rubix/internal/kcipher"
+	"rubix/internal/mapping"
+	"rubix/internal/sim"
+	"rubix/internal/trace"
+	"rubix/internal/workload"
+)
+
+// Core simulation types, aliased from the implementation packages so the
+// whole system is drivable through this one import.
+type (
+	// Geometry describes the DRAM organization (channels/ranks/banks/rows).
+	Geometry = geom.Geometry
+	// Timing holds the DRAM timing parameters in nanoseconds.
+	Timing = dram.Timing
+	// Config describes a single simulation run.
+	Config = sim.Config
+	// Result summarizes a run: per-core IPC, DRAM statistics (hot-row
+	// census, row-buffer hit rate), mitigation activity, power.
+	Result = sim.Result
+	// Options configures an experiment suite (scale, workload subset).
+	Options = sim.Options
+	// Suite caches runs and regenerates the paper's tables and figures.
+	Suite = sim.Suite
+	// Profile couples a workload generator with its core-model parameters.
+	Profile = workload.Profile
+	// Mapper is the line-to-row mapping interface.
+	Mapper = mapping.Mapper
+	// CipherKey is the 96-bit key of the Rubix-S address cipher.
+	CipherKey = kcipher.Key
+	// RubixS is the static randomized mapping (the paper's §4).
+	RubixS = core.RubixS
+	// RubixD is the dynamic randomized mapping (the paper's §5).
+	RubixD = core.RubixD
+	// RubixDConfig parameterizes NewRubixD.
+	RubixDConfig = core.RubixDConfig
+)
+
+// DefaultGeometry returns the paper's baseline system: 16 GB DDR4, one
+// channel, 16 banks, 128K rows of 8 KB (Table 1).
+func DefaultGeometry() Geometry { return geom.DDR4_16GB() }
+
+// Geometry2Ch returns the 32 GB two-channel system of Figure 15.
+func Geometry2Ch() Geometry { return geom.DDR4_32GB2Ch() }
+
+// Geometry4Ch returns the 32 GB four-channel system of Figure 15.
+func Geometry4Ch() Geometry { return geom.DDR4_32GB4Ch() }
+
+// DDR4Timing returns the DDR4-2400 timing of Table 1.
+func DDR4Timing() Timing { return dram.DDR4_2400() }
+
+// Run executes one simulation.
+func Run(cfg Config) (*Result, error) { return sim.Run(cfg) }
+
+// NewSuite builds an experiment suite that caches and parallelizes runs.
+func NewSuite(opts Options) *Suite { return sim.NewSuite(opts) }
+
+// NewMapper constructs a mapping by name: sequential, coffeelake, skylake,
+// mop, largestride-gsN, rubixs-gsN, rubixd-gsN, or staticxor-gsN
+// (N ∈ {1, 2, 4}).
+func NewMapper(name string, g Geometry, seed uint64) (Mapper, error) {
+	return sim.MapperFor(name, g, seed)
+}
+
+// NewRubixS builds the static Rubix mapping with the given gang size.
+func NewRubixS(g Geometry, gangSize int, key CipherKey) (*RubixS, error) {
+	return core.NewRubixS(g, gangSize, key)
+}
+
+// NewRubixD builds the dynamic Rubix mapping.
+func NewRubixD(g Geometry, cfg RubixDConfig) (*RubixD, error) {
+	return core.NewRubixD(g, cfg)
+}
+
+// KeyFromSeed derives a Rubix-S cipher key from a boot-time seed.
+func KeyFromSeed(seed uint64) CipherKey { return kcipher.KeyFromSeed(seed) }
+
+// Profiles resolves a workload name — a SPEC2017 stand-in ("gcc", "lbm",
+// ...), a four-way mix ("mix1".."mix16"), or a STREAM kernel
+// ("stream-copy", "stream-scale", "stream-add", "stream-triad") — into one
+// generator per core.
+func Profiles(name string, cores int, g Geometry, seed uint64) ([]Profile, error) {
+	return sim.ProfilesFor(name, cores, g, seed)
+}
+
+// SpecWorkloads lists the 18 calibrated SPEC CPU2017 stand-ins (Table 2).
+func SpecWorkloads() []string { return workload.SpecNames() }
+
+// AttackKind selects a Rowhammer access pattern for AttackProfiles.
+type AttackKind = sim.AttackKind
+
+// Attack patterns.
+const (
+	SingleSided = sim.SingleSided
+	DoubleSided = sim.DoubleSided
+	ManySided   = sim.ManySided
+)
+
+// AttackProfiles builds attacker workloads hammering rows physically
+// adjacent to victim rows under the given mapping.
+func AttackProfiles(kind AttackKind, g Geometry, m Mapper, cores int, seed uint64) ([]Profile, error) {
+	return sim.AttackProfiles(kind, g, m, cores, seed)
+}
+
+// RecordTrace captures n accesses of a workload generator into w in the
+// repository's trace format (see internal/trace); cmd/tracegen is the CLI
+// form.
+func RecordTrace(w io.Writer, gen workload.Generator, n int) error {
+	return trace.Record(w, gen, n)
+}
+
+// TraceProfile replays a recorded trace as a core's workload. mpki and mlp
+// supply the core-model parameters the trace format does not carry.
+func TraceProfile(name string, r io.Reader, mpki, mlp float64) (Profile, error) {
+	tr, err := trace.NewReader(name, r)
+	if err != nil {
+		return Profile{}, err
+	}
+	return Profile{Gen: tr, MPKI: mpki, MLP: mlp}, nil
+}

@@ -1,0 +1,79 @@
+package rubix_test
+
+import (
+	"testing"
+
+	"rubix"
+)
+
+func TestPublicQuickstart(t *testing.T) {
+	g := rubix.DefaultGeometry()
+	profiles, err := rubix.Profiles("gcc", 4, g, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rubix.Run(rubix.Config{
+		Geometry:       g,
+		TRH:            128,
+		MappingName:    "rubixs-gs4",
+		MitigationName: "aqua",
+		Workloads:      profiles,
+		InstrPerCore:   5_000_000,
+		Seed:           42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanIPC <= 0 {
+		t.Fatal("no progress")
+	}
+	if res.DRAM.TotalOverTRH() != 0 {
+		t.Fatal("security watchdog violation through the public API")
+	}
+}
+
+func TestPublicMapperConstruction(t *testing.T) {
+	g := rubix.DefaultGeometry()
+	rs, err := rubix.NewRubixS(g, 4, rubix.KeyFromSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := uint64(12345)
+	if rs.Unmap(rs.Map(line)) != line {
+		t.Fatal("Rubix-S round trip failed via public API")
+	}
+	rd, err := rubix.NewRubixD(g, rubix.RubixDConfig{GangSize: 2, RemapRate: 0.01, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Unmap(rd.Map(line)) != line {
+		t.Fatal("Rubix-D round trip failed via public API")
+	}
+	if _, err := rubix.NewMapper("coffeelake", g, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicWorkloadList(t *testing.T) {
+	names := rubix.SpecWorkloads()
+	if len(names) != 18 {
+		t.Fatalf("workloads = %d, want 18", len(names))
+	}
+	for _, n := range names {
+		if _, err := rubix.Profiles(n, 2, rubix.DefaultGeometry(), 1); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestGeometryHelpers(t *testing.T) {
+	if rubix.DefaultGeometry().TotalBytes() != 16<<30 {
+		t.Fatal("default geometry is not 16 GB")
+	}
+	if rubix.Geometry2Ch().Channels != 2 || rubix.Geometry4Ch().Channels != 4 {
+		t.Fatal("multi-channel helpers wrong")
+	}
+	if rubix.DDR4Timing().TRC != 45 {
+		t.Fatal("timing helper wrong")
+	}
+}
