@@ -1,0 +1,22 @@
+# Convenience targets mirroring the CI jobs (.github/workflows/ci.yml).
+
+.PHONY: all build test race lint ci
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# The full local gate: vet plus the project invariants suite
+# (determinism, bitwidth, seedflow, panicpolicy — see internal/lint).
+lint:
+	go vet ./...
+	go run ./cmd/rubixlint ./...
+
+ci: build test race lint

@@ -1,0 +1,110 @@
+// Command rubixlint runs the project's static-analysis suite (determinism,
+// bitwidth, seedflow, panicpolicy — see internal/lint) over the module.
+//
+// Usage:
+//
+//	go run ./cmd/rubixlint ./...
+//	go run ./cmd/rubixlint ./internal/dram ./internal/sim
+//
+// With no arguments (or "./...") the whole module is checked. Findings
+// print in the compiler's file:line:col format; the exit status is 1 when
+// any finding survives the //lint:allow annotations, so the command can
+// gate CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rubix/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rubixlint [packages]\n\n%s\n\nAnalyzers:\n", "Runs the project invariants suite over the module.")
+		for _, a := range lint.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if err := run(flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "rubixlint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(patterns []string) error {
+	root, modulePath, err := lint.FindModule(".")
+	if err != nil {
+		return err
+	}
+	pkgs, err := lint.NewLoader(root, modulePath).LoadAll()
+	if err != nil {
+		return err
+	}
+	pkgs, err = filterPackages(pkgs, patterns, root, modulePath)
+	if err != nil {
+		return err
+	}
+	diags, err := lint.Run(pkgs, lint.All(), lint.DefaultScope(modulePath))
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rubixlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+	return nil
+}
+
+// filterPackages narrows the loaded set to the requested patterns. The
+// whole module is always loaded first — project imports must resolve — so
+// patterns only select what gets reported on.
+func filterPackages(pkgs []*lint.Package, patterns []string, root, modulePath string) ([]*lint.Package, error) {
+	if len(patterns) == 0 {
+		return pkgs, nil
+	}
+	var out []*lint.Package
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		prefix, recursive := strings.CutSuffix(pat, "/...")
+		if prefix == "." || prefix == "./" || pat == "./..." {
+			return pkgs, nil
+		}
+		abs, err := filepath.Abs(strings.TrimSuffix(prefix, "/"))
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("pattern %q is outside the module", pat)
+		}
+		want := modulePath
+		if rel != "." {
+			want = modulePath + "/" + filepath.ToSlash(rel)
+		}
+		matched := false
+		for _, p := range pkgs {
+			if p.Path == want || (recursive && strings.HasPrefix(p.Path, want+"/")) {
+				matched = true
+				if !seen[p.Path] {
+					seen[p.Path] = true
+					out = append(out, p)
+				}
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matched no packages", pat)
+		}
+	}
+	return out, nil
+}

@@ -390,6 +390,7 @@ func (m *Module) rollWindow() {
 
 func (m *Module) finalizeWindow() {
 	w := WindowStats{Start: m.stats.currentStart, UniqueRows: len(m.rows)}
+	//lint:allow determinism order-independent: max and counter aggregation over the census is commutative
 	for _, rc := range m.rows {
 		if rc.acts > w.MaxActs {
 			w.MaxActs = rc.acts

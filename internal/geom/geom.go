@@ -52,7 +52,8 @@ type Location struct {
 func DDR4_16GB() Geometry {
 	g, err := New(1, 1, 16, 128*1024, 8*1024, 64)
 	if err != nil {
-		panic(err) // static configuration, cannot fail
+		//lint:allow panicpolicy static configuration validated at test time; New cannot fail on these literals
+		panic(err)
 	}
 	return g
 }
@@ -62,6 +63,7 @@ func DDR4_16GB() Geometry {
 func DDR4_32GB2Ch() Geometry {
 	g, err := New(2, 1, 16, 128*1024, 8*1024, 64)
 	if err != nil {
+		//lint:allow panicpolicy static configuration validated at test time; New cannot fail on these literals
 		panic(err)
 	}
 	return g
@@ -72,6 +74,7 @@ func DDR4_32GB2Ch() Geometry {
 func DDR4_32GB4Ch() Geometry {
 	g, err := New(4, 1, 16, 64*1024, 8*1024, 64)
 	if err != nil {
+		//lint:allow panicpolicy static configuration validated at test time; New cannot fail on these literals
 		panic(err)
 	}
 	return g
@@ -82,6 +85,7 @@ func DDR4_32GB4Ch() Geometry {
 func Illustrative4GB() Geometry {
 	g, err := New(1, 1, 1, 1024*1024, 4*1024, 64)
 	if err != nil {
+		//lint:allow panicpolicy static configuration validated at test time; New cannot fail on these literals
 		panic(err)
 	}
 	return g

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Determinism enforces the replay contract of internal/rng: a simulation
+// constructed with the same seeds must produce bit-identical results, so
+// simulation packages may not consult ambient nondeterminism.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid math/rand, wall-clock time, mutable package-level state, " +
+		"and unordered map iteration in simulation packages",
+	Run: runDeterminism,
+}
+
+// forbiddenImports are ambient-randomness packages: their generators are
+// seeded implicitly (or shared across goroutines), which breaks replay.
+var forbiddenImports = map[string]string{
+	"math/rand":    "use internal/rng with an explicit seed",
+	"math/rand/v2": "use internal/rng with an explicit seed",
+}
+
+// timeFuncs are wall-clock accessors. Simulated time is a float64 the model
+// advances itself; reading host time couples results to the machine.
+var timeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "NewTicker": true, "NewTimer": true, "AfterFunc": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := importPathOf(imp)
+			if hint, ok := forbiddenImports[path]; ok {
+				pass.Reportf(imp.Pos(), "import of %s is nondeterministic across runs; %s", path, hint)
+			}
+		}
+	}
+	reportMutablePackageState(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkTimeCall(pass, n)
+			case *ast.RangeStmt:
+				if t := pass.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok && !isKeyExtraction(n) {
+						pass.Reportf(n.Pos(), "map iteration order is nondeterministic; extract and sort the keys, or annotate an order-independent use with //lint:allow determinism <why>")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isKeyExtraction recognizes the sanctioned sorted-key idiom's first half —
+// a loop that does nothing but collect the map's keys into a slice:
+//
+//	for k := range m { keys = append(keys, k) }
+//
+// Order cannot escape such a loop (the caller is expected to sort keys), so
+// it is whitelisted.
+func isKeyExtraction(n *ast.RangeStmt) bool {
+	if n.Value != nil {
+		if v, ok := n.Value.(*ast.Ident); !ok || v.Name != "_" {
+			return false
+		}
+	}
+	key, ok := n.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || len(n.Body.List) != 1 {
+		return false
+	}
+	assign, ok := n.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == key.Name
+}
+
+func importPathOf(imp *ast.ImportSpec) string {
+	if len(imp.Path.Value) < 2 {
+		return ""
+	}
+	return imp.Path.Value[1 : len(imp.Path.Value)-1]
+}
+
+func checkTimeCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !timeFuncs[fn.Name()] {
+		return
+	}
+	pass.Reportf(call.Pos(), "time.%s reads the wall clock; simulation time must come from the model", fn.Name())
+}
+
+// reportMutablePackageState flags package-level variables that the package
+// itself mutates (assignment, ++/--, or address-taking anywhere outside the
+// declaration). Write-once tables and interface-conformance assertions pass;
+// counters and caches do not — shared mutable state makes results depend on
+// goroutine scheduling.
+func reportMutablePackageState(pass *Pass) {
+	vars := make(map[*types.Var]*ast.Ident)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						vars[v] = name
+					}
+				}
+			}
+		}
+	}
+	if len(vars) == 0 {
+		return
+	}
+	mutated := make(map[*types.Var]bool)
+	record := func(e ast.Expr) {
+		if v, ok := pass.Info.Uses[rootIdent(e)].(*types.Var); ok && vars[v] != nil {
+			mutated[v] = true
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					record(lhs)
+				}
+			case *ast.IncDecStmt:
+				record(n.X)
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					record(n.X)
+				}
+			}
+			return true
+		})
+	}
+	for v, name := range vars {
+		if mutated[v] {
+			pass.Reportf(name.Pos(), "package-level variable %s is mutated; simulation state must live in explicitly constructed values", name.Name)
+		}
+	}
+}
+
+// rootIdent unwraps index/selector/star/paren chains to the base identifier,
+// so `m[k] = v` and `s.f++` attribute the mutation to m and s.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package lint is a small static-analysis framework plus the project's four
+// analyzers. It enforces, as machine-checked invariants, the contracts the
+// simulator's evaluation rests on:
+//
+//   - determinism: simulation packages must not consult wall-clock time,
+//     math/rand, mutable package-level state, or unordered map iteration —
+//     the "same seeds ⇒ same activations" replay contract of internal/rng.
+//   - bitwidth: line/row address arithmetic must not silently truncate —
+//     shifts past the operand width, masks wider than the line-address
+//     domain, and unguarded narrowing conversions are flagged.
+//   - seedflow: every RNG must be seeded from configuration, never from a
+//     literal constant, so experiments stay reseedable.
+//   - panicpolicy: library packages return errors instead of panicking,
+//     except documented programmer-error invariant guards.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis but is
+// built only on the standard library's go/ast and go/types, because this
+// repository vendors no third-party dependencies. Findings are suppressed
+// with an annotation on the offending line (or the line above):
+//
+//	//lint:allow <analyzer> <justification>
+//
+// The justification is mandatory: an allow directive without one does not
+// suppress anything.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	// Name is the analyzer identifier used in reports and allow directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run inspects one package via the pass and reports findings.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic the way compilers do.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// All returns the project's analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, Bitwidth, Seedflow, Panicpolicy}
+}
+
+// Scope decides which analyzers run on which packages.
+type Scope func(a *Analyzer, pkgPath string) bool
+
+// EverythingScope runs every analyzer on every package (used by golden
+// tests, which select scope by testdata layout instead).
+func EverythingScope(*Analyzer, string) bool { return true }
+
+// DefaultScope is the repository policy: seedflow gates every package;
+// panicpolicy gates library (internal/...) packages; determinism and
+// bitwidth gate the simulation packages — internal/... minus the lint tool
+// itself, which is tooling rather than simulation and may e.g. iterate maps
+// after sorting for report ordering.
+func DefaultScope(modulePath string) Scope {
+	internalPrefix := modulePath + "/internal/"
+	lintPrefix := modulePath + "/internal/lint"
+	return func(a *Analyzer, pkgPath string) bool {
+		inInternal := strings.HasPrefix(pkgPath, internalPrefix)
+		switch a.Name {
+		case "seedflow":
+			return true
+		case "panicpolicy":
+			return inInternal
+		default: // determinism, bitwidth
+			return inInternal && !strings.HasPrefix(pkgPath, lintPrefix)
+		}
+	}
+}
+
+// Run applies the analyzers to the packages under the scope policy, filters
+// suppressed findings, and returns the rest ordered by position.
+func Run(pkgs []*Package, analyzers []*Analyzer, scope Scope) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allows := collectAllows(pkg)
+		for _, a := range analyzers {
+			if !scope(a, pkg.Path) {
+				continue
+			}
+			var raw []Diagnostic
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &raw,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range raw {
+				if !allows.covers(a.Name, d.Pos) {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// allowKey identifies one suppressed (analyzer, file, line).
+type allowKey struct {
+	analyzer string
+	file     string
+	line     int
+}
+
+type allowSet map[allowKey]bool
+
+// covers reports whether a valid allow directive targets the diagnostic.
+func (s allowSet) covers(analyzer string, pos token.Position) bool {
+	return s[allowKey{analyzer, pos.Filename, pos.Line}]
+}
+
+// collectAllows parses //lint:allow directives. A directive suppresses the
+// named analyzers on its own line and on the following line, so it can ride
+// at the end of the offending line or stand alone above it. Directives
+// without a justification are ignored.
+func collectAllows(pkg *Package) allowSet {
+	s := make(allowSet)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow ")
+				if !ok {
+					continue
+				}
+				names, justification, _ := strings.Cut(strings.TrimSpace(text), " ")
+				if strings.TrimSpace(justification) == "" {
+					continue // a bare directive documents nothing; not honored
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Split(names, ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					s[allowKey{name, pos.Filename, pos.Line}] = true
+					s[allowKey{name, pos.Filename, pos.Line + 1}] = true
+				}
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,69 @@
+package lint_test
+
+import (
+	"testing"
+
+	"rubix/internal/lint"
+	"rubix/internal/lint/linttest"
+)
+
+const testdata = "testdata/src"
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, testdata, lint.Determinism, "determinism")
+}
+
+func TestBitwidth(t *testing.T) {
+	linttest.Run(t, testdata, lint.Bitwidth, "bitwidth")
+}
+
+func TestSeedflow(t *testing.T) {
+	linttest.Run(t, testdata, lint.Seedflow, "seedflow")
+}
+
+func TestPanicpolicy(t *testing.T) {
+	linttest.Run(t, testdata, lint.Panicpolicy, "panicpolicy")
+}
+
+// TestDefaultScope pins the repository policy: which analyzers gate which
+// package families.
+func TestDefaultScope(t *testing.T) {
+	scope := lint.DefaultScope("rubix")
+	byName := make(map[string]*lint.Analyzer)
+	for _, a := range lint.All() {
+		byName[a.Name] = a
+	}
+	cases := []struct {
+		analyzer string
+		pkg      string
+		want     bool
+	}{
+		{"determinism", "rubix/internal/sim", true},
+		{"determinism", "rubix/internal/lint", false},
+		{"determinism", "rubix/cmd/rubixsim", false},
+		{"bitwidth", "rubix/internal/geom", true},
+		{"bitwidth", "rubix/internal/lint/linttest", false},
+		{"seedflow", "rubix/cmd/rubixsim", true},
+		{"seedflow", "rubix/internal/workload", true},
+		{"panicpolicy", "rubix/internal/workload", true},
+		{"panicpolicy", "rubix/internal/lint", true},
+		{"panicpolicy", "rubix/examples/quickstart", false},
+	}
+	for _, c := range cases {
+		a := byName[c.analyzer]
+		if a == nil {
+			t.Fatalf("analyzer %q not registered", c.analyzer)
+		}
+		if got := scope(a, c.pkg); got != c.want {
+			t.Errorf("scope(%s, %s) = %v, want %v", c.analyzer, c.pkg, got, c.want)
+		}
+	}
+}
+
+// TestAllowRequiresJustification guards the directive contract: a bare
+// //lint:allow without a reason must not suppress findings. The testdata
+// package "allowcheck" contains one bare directive over a panic; the
+// finding must survive.
+func TestAllowRequiresJustification(t *testing.T) {
+	linttest.Run(t, testdata, lint.Panicpolicy, "allowcheck")
+}

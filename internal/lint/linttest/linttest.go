@@ -1,0 +1,121 @@
+// Package linttest runs lint analyzers against golden testdata packages,
+// in the spirit of golang.org/x/tools/go/analysis/analysistest.
+//
+// Testdata layout: <root>/<pkg>/*.go, where each file marks expected
+// findings with an end-of-line comment
+//
+//	// want "regexp"
+//
+// Every diagnostic must match a want on its line, and every want must be
+// matched — so testdata demonstrates flagged cases (want lines) and allowed
+// cases (clean or //lint:allow'd lines) side by side.
+package linttest
+
+import (
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"rubix/internal/lint"
+)
+
+// loaders caches one loaded package tree per testdata root: the source
+// importer re-type-checks the standard library per Loader, which is the
+// dominant cost of these tests.
+var loaders = struct {
+	sync.Mutex
+	m map[string][]*lint.Package
+}{m: make(map[string][]*lint.Package)}
+
+func loadRoot(t *testing.T, root string) []*lint.Package {
+	t.Helper()
+	loaders.Lock()
+	defer loaders.Unlock()
+	if pkgs, ok := loaders.m[root]; ok {
+		return pkgs
+	}
+	pkgs, err := lint.NewLoader(root, "").LoadAll()
+	if err != nil {
+		t.Fatalf("loading testdata %s: %v", root, err)
+	}
+	loaders.m[root] = pkgs
+	return pkgs
+}
+
+// Run applies the analyzer to the testdata package at <root>/<pkgPath> and
+// compares its (post-suppression) diagnostics with the // want comments.
+func Run(t *testing.T, root string, a *lint.Analyzer, pkgPath string) {
+	t.Helper()
+	var target *lint.Package
+	for _, p := range loadRoot(t, root) {
+		if p.Path == pkgPath {
+			target = p
+			break
+		}
+	}
+	if target == nil {
+		t.Fatalf("testdata package %q not found under %s", pkgPath, root)
+	}
+	diags, err := lint.Run([]*lint.Package{target}, []*lint.Analyzer{a}, lint.EverythingScope)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+	}
+	wants := collectWants(t, target)
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if !matched[i] && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantPattern = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+func collectWants(t *testing.T, pkg *lint.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ms := wantPattern.FindAllStringSubmatch(text, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

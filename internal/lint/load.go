@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	Path  string // import path
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks every non-test package under Root using only
+// the standard library: project-internal imports resolve against the loaded
+// tree, everything else (the standard library) is type-checked from source
+// via go/importer. Test files are excluded by design — the analyzers gate
+// production code, and the seedflow contract explicitly exempts _test.go.
+type Loader struct {
+	// Root is the directory spanning the package tree.
+	Root string
+	// ModulePath maps Root to an import-path prefix ("" means import paths
+	// are plain Root-relative directories, the layout of lint testdata).
+	ModulePath string
+
+	fset  *token.FileSet
+	std   types.Importer
+	dirs  map[string]string // import path -> absolute dir
+	pkgs  map[string]*Package
+	state map[string]int // 0 unvisited, 1 in progress, 2 done
+}
+
+// NewLoader builds a Loader rooted at root.
+func NewLoader(root, modulePath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:       root,
+		ModulePath: modulePath,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		dirs:       make(map[string]string),
+		pkgs:       make(map[string]*Package),
+		state:      make(map[string]int),
+	}
+}
+
+// LoadAll discovers and type-checks every package under Root, returning them
+// sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	if err := l.discover(); err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(l.dirs))
+	for p := range l.dirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// discover walks Root and records every directory holding non-test Go files.
+func (l *Loader) discover() error {
+	root, err := filepath.Abs(l.Root)
+	if err != nil {
+		return err
+	}
+	l.Root = root
+	return filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		hasGo, err := dirHasGoFiles(path)
+		if err != nil {
+			return err
+		}
+		if hasGo {
+			l.dirs[l.importPath(path)] = path
+		}
+		return nil
+	})
+}
+
+func dirHasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if e.Type().IsRegular() && isLintableGoFile(e.Name()) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func isLintableGoFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// importPath maps an absolute directory under Root to its import path.
+func (l *Loader) importPath(dir string) string {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || rel == "." {
+		return l.ModulePath
+	}
+	rel = filepath.ToSlash(rel)
+	if l.ModulePath == "" {
+		return rel
+	}
+	return l.ModulePath + "/" + rel
+}
+
+// load type-checks one discovered package (and, recursively, its project
+// dependencies). It returns nil for directories whose files all failed the
+// parse filter.
+func (l *Loader) load(path string) (*Package, error) {
+	switch l.state[path] {
+	case 2:
+		return l.pkgs[path], nil
+	case 1:
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	l.state[path] = 1
+	dir := l.dirs[path]
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if !e.Type().IsRegular() || !isLintableGoFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		l.state[path] = 2
+		return nil, nil
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: &loaderImporter{l: l}}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	l.state[path] = 2
+	return pkg, nil
+}
+
+// loaderImporter resolves project packages from the loaded tree and
+// delegates everything else to the source importer.
+type loaderImporter struct {
+	l *Loader
+}
+
+// Import implements types.Importer.
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	if _, ok := li.l.dirs[path]; ok {
+		pkg, err := li.l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: package %q has no lintable Go files", path)
+		}
+		return pkg.Types, nil
+	}
+	return li.l.std.Import(path)
+}
+
+// FindModule locates the enclosing Go module from dir upward and returns its
+// root directory and module path.
+func FindModule(dir string) (root, modulePath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if mod, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return abs, strings.TrimSpace(mod), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", abs)
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Panicpolicy keeps library packages panic-free: a panic in internal/...
+// tears down a whole experiment sweep (and, under the parallel harness,
+// every sibling run on the worker pool) instead of failing one
+// configuration with an error. Permitted exceptions are init functions
+// (programmer-error guards that fire before any experiment starts) and
+// sites annotated //lint:allow panicpolicy with a justification — the
+// documented invariant-guard idiom for unreachable states and Must*
+// constructors.
+var Panicpolicy = &Analyzer{
+	Name: "panicpolicy",
+	Doc:  "library packages return errors instead of panicking, except documented invariant guards",
+	Run:  runPanicpolicy,
+}
+
+func runPanicpolicy(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name == "init" && fd.Recv == nil {
+				continue // init-time guards fire before any experiment runs
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if obj := pass.Info.Uses[id]; obj != nil {
+					if _, ok := obj.(*types.Builtin); !ok {
+						return true // shadowed panic
+					}
+				}
+				pass.Reportf(call.Pos(), "panic in library package; return an error, or annotate an invariant guard with //lint:allow panicpolicy <why>")
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Seedflow keeps experiments reseedable: every RNG constructed in
+// production code must take its seed from a parameter or configuration
+// value. A literal seed hard-wires one replay forever — sweeps, ablations,
+// and decorrelation across cores all silently collapse onto it. Deriving a
+// seed from a config value (cfg.Seed ^ 0xCBF) is fine; the derivation stays
+// under the experiment's control.
+var Seedflow = &Analyzer{
+	Name: "seedflow",
+	Doc:  "RNG constructors outside _test.go must be seeded from configuration, not literal constants",
+	Run:  runSeedflow,
+}
+
+// rngConstructors are the seed-taking constructors of internal/rng, keyed by
+// name; the seed is their first argument.
+var rngConstructors = map[string]bool{
+	"NewSplitMix64": true,
+	"NewXoshiro256": true,
+}
+
+func runSeedflow(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := calledFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "rng" || !rngConstructors[fn.Name()] {
+				return true
+			}
+			seed := call.Args[0]
+			if tv, ok := pass.Info.Types[seed]; ok && tv.Value != nil {
+				pass.Reportf(seed.Pos(), "%s seeded with the constant %s; thread the seed from configuration so runs stay reseedable", fn.Name(), tv.Value.ExactString())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calledFunc resolves the function object a call targets, if it is a named
+// function or method.
+func calledFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,16 @@
+// Package allowcheck verifies that an undocumented allow directive does not
+// suppress anything: the justification is part of the contract.
+package allowcheck
+
+// Bare has an allow directive with no justification, so the panic is still
+// flagged.
+func Bare() {
+	//lint:allow panicpolicy
+	panic("unjustified") // want "panic in library package"
+}
+
+// Documented carries a reason and is suppressed.
+func Documented() {
+	//lint:allow panicpolicy unreachable by construction, exercised in golden tests
+	panic("justified")
+}

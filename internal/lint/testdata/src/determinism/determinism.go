@@ -1,0 +1,65 @@
+// Package determinism is golden testdata: flagged lines carry want
+// comments, allowed lines show the sanctioned alternatives.
+package determinism
+
+import (
+	"math/rand" // want "import of math/rand is nondeterministic"
+	"sort"
+	"time"
+)
+
+// table is write-once package state: initialized here, only ever read.
+var table = [4]uint64{1, 2, 3, 5}
+
+// hits is mutated by Record, so it is shared mutable state.
+var hits int // want "package-level variable hits is mutated"
+
+// Record bumps the package counter (flagged at the declaration above).
+func Record() { hits++ }
+
+// Sample mixes two forbidden ambient sources.
+func Sample() int64 {
+	now := time.Now().UnixNano() // want "time.Now reads the wall clock"
+	return now + rand.Int63()
+}
+
+// Elapsed uses the wall clock to measure simulated work.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+// SumUnordered iterates a map directly.
+func SumUnordered(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want "map iteration order is nondeterministic"
+		out = append(out, v)
+	}
+	return out
+}
+
+// SumCommutative is order-independent, which the annotation records.
+func SumCommutative(m map[string]int) int {
+	total := 0
+	//lint:allow determinism addition is commutative, order cannot reach output
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// SumSorted extracts and sorts the keys first — the preferred rewrite.
+func SumSorted(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	for k := range m { // key extraction: allowed, order is sorted away below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// First reads the table without mutating it (allowed).
+func First() uint64 { return table[0] }

@@ -1,0 +1,39 @@
+// Package panicpolicy is golden testdata for the panic-policy analyzer.
+package panicpolicy
+
+import "fmt"
+
+// Open panics on bad input instead of returning the error: flagged.
+func Open(name string) string {
+	if name == "" {
+		panic("empty name") // want "panic in library package"
+	}
+	return name
+}
+
+// OpenChecked is the sanctioned shape: allowed.
+func OpenChecked(name string) (string, error) {
+	if name == "" {
+		return "", fmt.Errorf("empty name")
+	}
+	return name, nil
+}
+
+// init-time guards run before any experiment starts: allowed.
+func init() {
+	if MaxWidth <= 0 {
+		panic("panicpolicy: bad MaxWidth")
+	}
+}
+
+// MaxWidth is checked by init above.
+const MaxWidth = 40
+
+// MustOpen documents its invariant guard: allowed.
+func MustOpen(name string) string {
+	if name == "" {
+		//lint:allow panicpolicy Must-constructor for static configuration; callers pass literals
+		panic("empty name")
+	}
+	return name
+}

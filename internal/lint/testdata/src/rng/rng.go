@@ -1,0 +1,16 @@
+// Package rng is a stub of the project's internal/rng, just enough surface
+// for the seedflow golden tests: the analyzer matches constructors by
+// package name and function name, exactly as it does on the real package.
+package rng
+
+// SplitMix64 mirrors the real generator's shape.
+type SplitMix64 struct{ state uint64 }
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
+
+// Xoshiro256 mirrors the real generator's shape.
+type Xoshiro256 struct{ s [4]uint64 }
+
+// NewXoshiro256 returns a generator derived from seed.
+func NewXoshiro256(seed uint64) *Xoshiro256 { return &Xoshiro256{s: [4]uint64{seed, 1, 2, 3}} }

@@ -1,0 +1,30 @@
+// Package seedflow is golden testdata for the seed-flow analyzer.
+package seedflow
+
+import "rng"
+
+// Config carries the experiment seed, the sanctioned seed source.
+type Config struct {
+	Seed uint64
+}
+
+// HardcodedSeed freezes the replay forever: flagged.
+func HardcodedSeed() *rng.SplitMix64 {
+	return rng.NewSplitMix64(42) // want "NewSplitMix64 seeded with the constant 42"
+}
+
+// HardcodedExpression is still a compile-time constant: flagged.
+func HardcodedExpression() *rng.Xoshiro256 {
+	return rng.NewXoshiro256(0x5242 ^ 7) // want "NewXoshiro256 seeded with the constant 21061"
+}
+
+// FromConfig threads the seed from configuration: allowed.
+func FromConfig(cfg Config) *rng.Xoshiro256 {
+	return rng.NewXoshiro256(cfg.Seed)
+}
+
+// DerivedFromConfig decorrelates a sub-generator with a constant tweak on a
+// configured seed — the derivation stays reseedable: allowed.
+func DerivedFromConfig(cfg Config) *rng.SplitMix64 {
+	return rng.NewSplitMix64(cfg.Seed ^ 0xCBF)
+}

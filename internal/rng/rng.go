@@ -76,6 +76,7 @@ func (x *Xoshiro256) Next() uint64 {
 // Uint64n returns a uniform value in [0, n). It panics if n == 0.
 func (x *Xoshiro256) Uint64n(n uint64) uint64 {
 	if n == 0 {
+		//lint:allow panicpolicy programmer-error guard on the hot sampling path, mirroring math/rand's contract
 		panic("rng: Uint64n with n == 0")
 	}
 	// Plain rejection keeps the distribution exactly uniform and is simple
@@ -92,6 +93,7 @@ func (x *Xoshiro256) Uint64n(n uint64) uint64 {
 // Intn returns a uniform value in [0, n). It panics if n <= 0.
 func (x *Xoshiro256) Intn(n int) int {
 	if n <= 0 {
+		//lint:allow panicpolicy programmer-error guard on the hot sampling path, mirroring math/rand's contract
 		panic("rng: Intn with n <= 0")
 	}
 	return int(x.Uint64n(uint64(n)))
@@ -133,6 +135,7 @@ type Zipf struct {
 // It panics if n < 1.
 func NewZipf(r *Xoshiro256, n int, s float64) *Zipf {
 	if n < 1 {
+		//lint:allow panicpolicy programmer-error guard, mirroring math/rand's Zipf contract
 		panic("rng: NewZipf with n < 1")
 	}
 	cdf := make([]float64, n)

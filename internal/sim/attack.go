@@ -61,7 +61,10 @@ func AttackProfiles(kind AttackKind, g geom.Geometry, m mapping.Mapper, cores in
 		default:
 			return nil, fmt.Errorf("sim: unknown attack kind %q", kind)
 		}
-		gen := workload.NewAttack(string(kind), rows, resolve)
+		gen, err := workload.NewAttack(string(kind), rows, resolve)
+		if err != nil {
+			return nil, err
+		}
 		// A hammering loop is pure memory traffic: model it as an extreme
 		// MPKI with no memory-level parallelism.
 		out[i] = workload.Profile{Gen: gen, MPKI: 500, MLP: 1}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// renderResult formats everything observable about a run into one string so
+// two runs can be compared byte-for-byte. DRAM is dereferenced (a pointer
+// would print its address) and Latency histograms stay disabled, so every
+// field is plain value data.
+func renderResult(r *Result) string {
+	return fmt.Sprintf("cfg=%s map=%s mit=%s ipc=%v mean=%v elapsed=%v dram=%+v mit=%d swaps=%d power=%v wl=%v",
+		r.Config, r.Mapping, r.Mitigation, r.IPC, r.MeanIPC, r.ElapsedNs,
+		*r.DRAM, r.Mitigations, r.RemapSwaps, r.PowerMW, r.WorkloadNames)
+}
+
+// TestPrefetchConcurrent drives the Suite cache from many goroutines at once
+// — both through Prefetch's worker fan-out and through direct racing Run
+// calls on overlapping keys — so `go test -race` can observe any unsynchronized
+// access in the cache or the per-entry once. Every caller must get the same
+// cached *Result for a given key.
+func TestPrefetchConcurrent(t *testing.T) {
+	s := NewSuite(Options{Scale: 0.004, Workloads: []string{"mcf", "xz"}, Mixes: []int{}, Seed: 17})
+	keys := []runKey{
+		{"mcf", "coffeelake", "none", 1000, false},
+		{"mcf", "rubixs-gs1", "none", 1000, false},
+		{"xz", "coffeelake", "none", 1000, false},
+		{"xz", "rubixs-gs1", "none", 1000, false},
+	}
+	if err := s.Prefetch(keys); err != nil {
+		t.Fatal(err)
+	}
+
+	// Race direct Run calls over the (now warm) cache plus one cold key, with
+	// parallelism strictly greater than one regardless of GOMAXPROCS.
+	const callers = 8
+	cold := runKey{"mcf", "sequential", "none", 1000, false}
+	all := append(append([]runKey(nil), keys...), cold)
+	results := make([][]*Result, callers)
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for _, k := range all {
+				res, err := s.Run(k.wl, k.mapName, k.mitName, k.trh, k.lineCensus)
+				if err != nil {
+					t.Errorf("caller %d: %v", c, err)
+					return
+				}
+				results[c] = append(results[c], res)
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c := 1; c < callers; c++ {
+		if len(results[c]) != len(results[0]) {
+			t.Fatalf("caller %d saw %d results, caller 0 saw %d", c, len(results[c]), len(results[0]))
+		}
+		for i := range results[c] {
+			if results[c][i] != results[0][i] {
+				t.Errorf("caller %d key %d: got a different *Result than caller 0 — cache returned a duplicate run", c, i)
+			}
+		}
+	}
+}
+
+// TestDeterministicReplayBytes runs the same configuration twice from fresh
+// suites with identical seeds and requires byte-identical statistics —
+// stronger than TestDeterministicReplay's field spot-checks. This is the
+// contract the determinism analyzer (internal/lint) enforces statically:
+// no wall-clock, no global RNG, no map-order leakage.
+func TestDeterministicReplayBytes(t *testing.T) {
+	run := func() string {
+		s := NewSuite(Options{Scale: 0.004, Workloads: []string{"mcf"}, Mixes: []int{}, Seed: 29})
+		res, err := s.Run("mcf", "rubixd-gs2", "aqua", 1000, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderResult(res)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("identical seeds produced different stats:\n run 1: %s\n run 2: %s", a, b)
+	}
+}

@@ -350,17 +350,21 @@ func (s *Suite) Fig4() ([]Fig4Row, error) {
 
 	kernels := []struct {
 		name string
-		gen  func() workload.Generator
+		gen  func() (workload.Generator, error)
 	}{
-		{"stream", func() workload.Generator { return workload.NewStream(0, footprintLines) }},
-		{"stride-64", func() workload.Generator { return workload.NewStride(0, footprintLines, 64) }},
-		{"random", func() workload.Generator { return workload.NewRandom(0, footprintLines, s.opts.Seed) }},
+		{"stream", func() (workload.Generator, error) { return workload.NewStream(0, footprintLines) }},
+		{"stride-64", func() (workload.Generator, error) { return workload.NewStride(0, footprintLines, 64) }},
+		{"random", func() (workload.Generator, error) { return workload.NewRandom(0, footprintLines, s.opts.Seed) }},
 	}
 
 	var rows []Fig4Row
 	for _, mapName := range []string{"sequential", "rubixs-gs1"} {
 		for _, k := range kernels {
-			hot, err := s.runKernel(g, mapName, k.gen(), accesses)
+			gen, err := k.gen()
+			if err != nil {
+				return nil, err
+			}
+			hot, err := s.runKernel(g, mapName, gen, accesses)
 			if err != nil {
 				return nil, err
 			}

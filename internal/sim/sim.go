@@ -53,10 +53,9 @@ func MapperFor(name string, g geom.Geometry, seed uint64) (mapping.Mapper, error
 		return core.NewRubixD(g, core.RubixDConfig{GangSize: gs, RemapRate: 0.01, Seed: seed})
 	case "staticxor":
 		return core.NewStaticXOR(g, gs, seed)
-	case "largestride":
+	default: // "largestride", the only base left after the Sscanf chain
 		return mapping.NewLargeStride(g, gs)
 	}
-	panic("unreachable")
 }
 
 // Config describes one simulation run.
@@ -251,7 +250,10 @@ func RateProfiles(name string, n int, g geom.Geometry, seed uint64) ([]workload.
 	}
 	out := make([]workload.Profile, n)
 	for i := 0; i < n; i++ {
-		gen := workload.NewSpec(p, coreBase(g, i, n), seed+uint64(i)*104729+11)
+		gen, err := workload.NewSpec(p, coreBase(g, i, n), seed+uint64(i)*104729+11)
+		if err != nil {
+			return nil, err
+		}
 		out[i] = workload.Profile{Gen: gen, MPKI: p.MPKI, MLP: p.MLP}
 	}
 	return out, nil
@@ -271,7 +273,10 @@ func MixProfiles(mix int, g geom.Geometry, seed uint64) ([]workload.Profile, err
 		if err != nil {
 			return nil, err
 		}
-		gen := workload.NewSpec(p, coreBase(g, i, len(names)), seed+uint64(i)*104729+11)
+		gen, err := workload.NewSpec(p, coreBase(g, i, len(names)), seed+uint64(i)*104729+11)
+		if err != nil {
+			return nil, err
+		}
 		out[i] = workload.Profile{Gen: gen, MPKI: p.MPKI, MLP: p.MLP}
 	}
 	return out, nil
@@ -307,7 +312,10 @@ func StreamProfiles(k workload.StreamKernel, n int, g geom.Geometry, seed uint64
 	}
 	out := make([]workload.Profile, n)
 	for i := 0; i < n; i++ {
-		gen := workload.NewStreamSuite(k, coreBase(g, i, n), arrayBytes)
+		gen, err := workload.NewStreamSuite(k, coreBase(g, i, n), arrayBytes)
+		if err != nil {
+			return nil, err
+		}
 		out[i] = workload.Profile{Gen: gen, MPKI: workload.StreamMPKI, MLP: 8}
 	}
 	return out, nil

@@ -8,13 +8,22 @@ import (
 	"rubix/internal/workload"
 )
 
+// must unwraps constructor results; tests treat construction failure as a
+// fatal setup bug.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 func TestRoundTrip(t *testing.T) {
-	gen := workload.NewStride(100, 64, 8)
+	gen := must(workload.NewStride(100, 64, 8))
 	var buf bytes.Buffer
 	if err := Record(&buf, gen, 50); err != nil {
 		t.Fatal(err)
 	}
-	ref := workload.NewStride(100, 64, 8)
+	ref := must(workload.NewStride(100, 64, 8))
 	r, err := NewReader("stride", &buf)
 	if err != nil {
 		t.Fatal(err)
@@ -38,12 +47,12 @@ func TestBurstFlagsPreserved(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gen := workload.NewSpec(p, 0, 9)
+	gen := must(workload.NewSpec(p, 0, 9))
 	var buf bytes.Buffer
 	if err := Record(&buf, gen, 2000); err != nil {
 		t.Fatal(err)
 	}
-	ref := workload.NewSpec(p, 0, 9)
+	ref := must(workload.NewSpec(p, 0, 9))
 	r, err := NewReader("gcc", &buf)
 	if err != nil {
 		t.Fatal(err)
@@ -69,7 +78,7 @@ func TestBurstFlagsPreserved(t *testing.T) {
 type seekBuffer struct{ *bytes.Reader }
 
 func TestRewindOnSeeker(t *testing.T) {
-	gen := workload.NewStream(0, 8)
+	gen := must(workload.NewStream(0, 8))
 	var buf bytes.Buffer
 	if err := Record(&buf, gen, 8); err != nil {
 		t.Fatal(err)
@@ -90,7 +99,7 @@ func TestRewindOnSeeker(t *testing.T) {
 }
 
 func TestExhaustedUnseekableRepeatsLast(t *testing.T) {
-	gen := workload.NewStream(40, 4)
+	gen := must(workload.NewStream(40, 4))
 	var buf bytes.Buffer
 	if err := Record(&buf, gen, 4); err != nil {
 		t.Fatal(err)

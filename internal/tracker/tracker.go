@@ -98,6 +98,7 @@ func (t *MisraGries) RecordACT(row uint64) bool {
 	// Table full: Misra-Gries decrement-all, realized as floor increment
 	// with lazy eviction of entries that fall to the floor.
 	t.floor++
+	//lint:allow determinism order-independent: every entry at or below the floor is deleted, whatever order the map yields them
 	for r, c := range t.counts {
 		if c <= t.floor {
 			delete(t.counts, r)

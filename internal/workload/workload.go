@@ -50,11 +50,11 @@ type Stream struct {
 }
 
 // NewStream builds the stream microkernel over [base, base+lines).
-func NewStream(base, lines uint64) *Stream {
+func NewStream(base, lines uint64) (*Stream, error) {
 	if lines == 0 {
-		panic("workload: Stream with zero lines")
+		return nil, fmt.Errorf("workload: Stream with zero lines")
 	}
-	return &Stream{base: base, lines: lines}
+	return &Stream{base: base, lines: lines}, nil
 }
 
 // Name implements Generator.
@@ -86,11 +86,11 @@ type Stride struct {
 
 // NewStride builds the strided microkernel over [base, base+lines) with the
 // given line stride.
-func NewStride(base, lines, stride uint64) *Stride {
+func NewStride(base, lines, stride uint64) (*Stride, error) {
 	if lines == 0 || stride == 0 {
-		panic("workload: Stride with zero lines or stride")
+		return nil, fmt.Errorf("workload: Stride with zero lines or stride (lines=%d, stride=%d)", lines, stride)
 	}
-	return &Stride{base: base, lines: lines, stride: stride}
+	return &Stride{base: base, lines: lines, stride: stride}, nil
 }
 
 // Name implements Generator.
@@ -121,11 +121,11 @@ type Random struct {
 }
 
 // NewRandom builds the random microkernel over [base, base+lines).
-func NewRandom(base, lines uint64, seed uint64) *Random {
+func NewRandom(base, lines uint64, seed uint64) (*Random, error) {
 	if lines == 0 {
-		panic("workload: Random with zero lines")
+		return nil, fmt.Errorf("workload: Random with zero lines")
 	}
-	return &Random{base: base, lines: lines, rng: rng.NewXoshiro256(seed)}
+	return &Random{base: base, lines: lines, rng: rng.NewXoshiro256(seed)}, nil
 }
 
 // Name implements Generator.
@@ -199,9 +199,9 @@ const PageLines = 64
 
 // NewSpec builds a synthetic SPEC workload instance with its footprint based
 // at line address base.
-func NewSpec(p SpecParams, base uint64, seed uint64) *Spec {
+func NewSpec(p SpecParams, base uint64, seed uint64) (*Spec, error) {
 	if p.Pages <= 0 {
-		panic(fmt.Sprintf("workload: %s has no footprint", p.Name))
+		return nil, fmt.Errorf("workload: %s has no footprint", p.Name)
 	}
 	r := rng.NewXoshiro256(seed)
 	s := &Spec{
@@ -259,7 +259,7 @@ func NewSpec(p SpecParams, base uint64, seed uint64) *Spec {
 			s.hotOff[i] = uint64(r.Intn(p.Pages))
 		}
 	}
-	return s
+	return s, nil
 }
 
 // Name implements Generator.
@@ -388,12 +388,12 @@ type StreamSuite struct {
 }
 
 // NewStreamSuite builds the generator. arrayBytes is the per-array size.
-func NewStreamSuite(kernel StreamKernel, base uint64, arrayBytes uint64) *StreamSuite {
+func NewStreamSuite(kernel StreamKernel, base uint64, arrayBytes uint64) (*StreamSuite, error) {
 	lines := arrayBytes / 64
 	if lines == 0 {
-		panic("workload: STREAM array too small")
+		return nil, fmt.Errorf("workload: STREAM array of %d bytes holds no cache line", arrayBytes)
 	}
-	return &StreamSuite{kernel: kernel, base: base, lines: lines}
+	return &StreamSuite{kernel: kernel, base: base, lines: lines}, nil
 }
 
 // Name implements Generator.
@@ -452,11 +452,11 @@ type Attack struct {
 }
 
 // NewAttack builds an attack on the given aggressor global rows.
-func NewAttack(name string, rows []uint64, resolve RowResolver) *Attack {
+func NewAttack(name string, rows []uint64, resolve RowResolver) (*Attack, error) {
 	if len(rows) == 0 {
-		panic("workload: attack with no aggressor rows")
+		return nil, fmt.Errorf("workload: attack %q with no aggressor rows", name)
 	}
-	return &Attack{name: name, rows: rows, resolve: resolve}
+	return &Attack{name: name, rows: rows, resolve: resolve}, nil
 }
 
 // Name implements Generator.

@@ -2,8 +2,17 @@ package workload
 
 import "testing"
 
+// must unwraps constructor results; tests treat construction failure as a
+// fatal setup bug.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 func TestStreamSequentialWraps(t *testing.T) {
-	s := NewStream(100, 4)
+	s := must(NewStream(100, 4))
 	want := []uint64{100, 101, 102, 103, 100, 101}
 	for i, w := range want {
 		if got := s.Next(); got != w {
@@ -17,7 +26,7 @@ func TestStreamSequentialWraps(t *testing.T) {
 
 func TestStrideVisitsOneLinePerStride(t *testing.T) {
 	// Stride 64 over 256 lines: pages at 0, 64, 128, 192, then offset 1.
-	s := NewStride(0, 256, 64)
+	s := must(NewStride(0, 256, 64))
 	want := []uint64{0, 64, 128, 192, 1, 65}
 	for i, w := range want {
 		if got := s.Next(); got != w {
@@ -27,7 +36,7 @@ func TestStrideVisitsOneLinePerStride(t *testing.T) {
 }
 
 func TestStrideCoversAllLines(t *testing.T) {
-	s := NewStride(0, 64, 8)
+	s := must(NewStride(0, 64, 8))
 	seen := map[uint64]int{}
 	for i := 0; i < 64; i++ {
 		seen[s.Next()]++
@@ -38,7 +47,7 @@ func TestStrideCoversAllLines(t *testing.T) {
 }
 
 func TestRandomStaysInFootprint(t *testing.T) {
-	r := NewRandom(1000, 50, 1)
+	r := must(NewRandom(1000, 50, 1))
 	for i := 0; i < 10000; i++ {
 		a := r.Next()
 		if a < 1000 || a >= 1050 {
@@ -52,7 +61,7 @@ func TestSpecFootprintBounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := NewSpec(p, 1<<20, 7)
+	g := must(NewSpec(p, 1<<20, 7))
 	lines := uint64(p.Pages) * PageLines
 	for i := 0; i < 200000; i++ {
 		a := g.Next()
@@ -70,7 +79,7 @@ func TestSpecAccessSharesMatchWeights(t *testing.T) {
 		WStream: 0.25, WRandom: 0.25, WHot: 0.50,
 		HotPages: 100, ZipfS: 0.3, BurstLen: 16, HotBurst: 1, MLP: 4,
 	}
-	g := NewSpec(p, 0, 3)
+	g := must(NewSpec(p, 0, 3))
 	hotPages := map[uint64]bool{}
 	for _, off := range g.hotOff {
 		hotPages[off] = true
@@ -93,7 +102,7 @@ func TestSpecAccessSharesMatchWeights(t *testing.T) {
 
 func TestSpecBurstsAreSequential(t *testing.T) {
 	p := SpecParams{Name: "x", MPKI: 1, Pages: 100, WRandom: 1, BurstLen: 8, MLP: 4}
-	g := NewSpec(p, 0, 5)
+	g := must(NewSpec(p, 0, 5))
 	prev := g.Next()
 	seqSteps, total := 0, 0
 	for i := 0; i < 10000; i++ {
@@ -117,8 +126,8 @@ func TestSpecBurstsAreSequential(t *testing.T) {
 
 func TestSpecDeterminism(t *testing.T) {
 	p, _ := SpecByName("mcf")
-	a := NewSpec(p, 0, 42)
-	b := NewSpec(p, 0, 42)
+	a := must(NewSpec(p, 0, 42))
+	b := must(NewSpec(p, 0, 42))
 	for i := 0; i < 10000; i++ {
 		if a.Next() != b.Next() {
 			t.Fatal("same seed must replay identically")
@@ -167,7 +176,7 @@ func TestMixTableValid(t *testing.T) {
 
 func TestStreamSuiteKernels(t *testing.T) {
 	for k := StreamCopy; k <= StreamTriad; k++ {
-		s := NewStreamSuite(k, 0, 1<<20) // 16K lines per array
+		s := must(NewStreamSuite(k, 0, 1<<20)) // 16K lines per array
 		seen := map[uint64]bool{}
 		arrays := k.arrays()
 		for i := 0; i < 1000; i++ {
@@ -184,7 +193,7 @@ func TestStreamSuiteKernels(t *testing.T) {
 }
 
 func TestStreamSuiteBlocksAreSequential(t *testing.T) {
-	s := NewStreamSuite(StreamCopy, 0, 1<<20)
+	s := must(NewStreamSuite(StreamCopy, 0, 1<<20))
 	// First streamBlock accesses hit array 0 sequentially.
 	for i := uint64(0); i < streamBlock; i++ {
 		if got := s.Next(); got != i {
@@ -202,7 +211,7 @@ func TestStreamSuiteBlocksAreSequential(t *testing.T) {
 
 func TestAttackRoundRobinsAggressors(t *testing.T) {
 	resolve := func(row uint64, slot int) uint64 { return row*128 + uint64(slot) }
-	a := NewAttack("double-sided", []uint64{10, 20}, resolve)
+	a := must(NewAttack("double-sided", []uint64{10, 20}, resolve))
 	r1 := a.Next() / 128
 	r2 := a.Next() / 128
 	r3 := a.Next() / 128
@@ -225,12 +234,12 @@ func TestProfileGeneratorsImplementInterface(t *testing.T) {
 
 func TestHotBurstDefaults(t *testing.T) {
 	p := SpecParams{Name: "x", MPKI: 1, Pages: 10, WHot: 1, HotPages: 5, BurstLen: 16, MLP: 1}
-	g := NewSpec(p, 0, 1)
+	g := must(NewSpec(p, 0, 1))
 	if g.hotBurst != 4 {
 		t.Fatalf("hot burst default = %v, want BurstLen/4", g.hotBurst)
 	}
 	p.BurstLen = 2
-	g2 := NewSpec(p, 0, 1)
+	g2 := must(NewSpec(p, 0, 1))
 	if g2.hotBurst != 1 {
 		t.Fatalf("hot burst floor = %v, want 1", g2.hotBurst)
 	}
@@ -241,7 +250,7 @@ func TestZipfHeadGetsMoreTraffic(t *testing.T) {
 		Name: "x", MPKI: 1, Pages: 1000, WHot: 1,
 		HotPages: 50, ZipfS: 0.8, BurstLen: 4, HotBurst: 1, MLP: 1,
 	}
-	g := NewSpec(p, 0, 9)
+	g := must(NewSpec(p, 0, 9))
 	counts := map[uint64]int{}
 	for i := 0; i < 100000; i++ {
 		counts[g.Next()/PageLines]++
@@ -250,5 +259,29 @@ func TestZipfHeadGetsMoreTraffic(t *testing.T) {
 	tail := counts[g.hotOff[len(g.hotOff)-1]]
 	if head <= tail {
 		t.Fatalf("zipf head (%d) should beat tail (%d)", head, tail)
+	}
+}
+
+func TestConstructorsRejectEmptyFootprints(t *testing.T) {
+	if _, err := NewStream(0, 0); err == nil {
+		t.Error("NewStream accepted zero lines")
+	}
+	if _, err := NewStride(0, 0, 8); err == nil {
+		t.Error("NewStride accepted zero lines")
+	}
+	if _, err := NewStride(0, 64, 0); err == nil {
+		t.Error("NewStride accepted zero stride")
+	}
+	if _, err := NewRandom(0, 0, 1); err == nil {
+		t.Error("NewRandom accepted zero lines")
+	}
+	if _, err := NewSpec(SpecParams{Name: "empty"}, 0, 1); err == nil {
+		t.Error("NewSpec accepted an empty footprint")
+	}
+	if _, err := NewStreamSuite(StreamCopy, 0, 63); err == nil {
+		t.Error("NewStreamSuite accepted a sub-line array")
+	}
+	if _, err := NewAttack("x", nil, nil); err == nil {
+		t.Error("NewAttack accepted zero aggressors")
 	}
 }
