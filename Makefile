@@ -1,6 +1,6 @@
 # Convenience targets mirroring the CI jobs (.github/workflows/ci.yml).
 
-.PHONY: all build test race lint ci
+.PHONY: all build test race lint ci profile
 
 all: build test
 
@@ -20,3 +20,12 @@ lint:
 	go run ./cmd/rubixlint ./...
 
 ci: build test race lint
+
+# Profile a mid-size hot configuration: CPU profile and metrics snapshot
+# land in results/, and a live pprof + /metrics endpoint serves on :6060
+# for the duration of the run (`go tool pprof results/cpu.pprof`).
+profile:
+	mkdir -p results
+	go run ./cmd/rubixsim -workload mcf -mapping coffeelake -mitigation aqua \
+		-trh 128 -scale 0.2 -pprof localhost:6060 \
+		-cpuprofile results/cpu.pprof -metrics-json results/metrics.json -metrics

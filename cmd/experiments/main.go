@@ -17,11 +17,63 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"sync"
 
 	"rubix/internal/geom"
 	"rubix/internal/sim"
 )
+
+// runTimer collects per-run wall times via Options.OnRunDone; it must be
+// safe for the concurrent callbacks Prefetch produces.
+type runTimer struct {
+	mu       sync.Mutex
+	progress bool
+	specs    []string
+	wallNs   []int64
+}
+
+func (t *runTimer) done(spec sim.RunSpec, _ *sim.Result, wallNs int64) {
+	t.mu.Lock()
+	t.specs = append(t.specs, spec.String())
+	t.wallNs = append(t.wallNs, wallNs)
+	n := len(t.specs)
+	t.mu.Unlock()
+	if t.progress {
+		fmt.Fprintf(os.Stderr, "experiments: run %3d done in %6.2fs: %s\n",
+			n, float64(wallNs)/1e9, spec)
+	}
+}
+
+// table renders the aggregate timing summary: total simulated runs, total
+// wall time, and the slowest configurations.
+func (t *runTimer) table(top int) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.specs) == 0 {
+		return ""
+	}
+	idx := make([]int, len(t.specs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return t.wallNs[idx[a]] > t.wallNs[idx[b]] })
+	var total int64
+	for _, ns := range t.wallNs {
+		total += ns
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Timing: %d simulated runs, %.1fs total wall time (parallel)\n",
+		len(t.specs), float64(total)/1e9)
+	if top > len(idx) {
+		top = len(idx)
+	}
+	for _, i := range idx[:top] {
+		fmt.Fprintf(&b, "  %6.2fs  %s\n", float64(t.wallNs[i])/1e9, t.specs[i])
+	}
+	return b.String()
+}
 
 func main() {
 	var (
@@ -31,10 +83,12 @@ func main() {
 		mixes    = flag.Bool("mixes", true, "include the 16 mixed workloads where the paper does")
 		seed     = flag.Uint64("seed", 42, "random seed")
 		jsonPath = flag.String("json", "", "also write the experiment's structured rows as JSON to this file")
+		progress = flag.Bool("progress", false, "print per-run progress to stderr and a timing table at the end")
 	)
 	flag.Parse()
 
-	opts := sim.Options{Scale: *scale, Seed: *seed}
+	timer := &runTimer{progress: *progress}
+	opts := sim.Options{Scale: *scale, Seed: *seed, OnRunDone: timer.done}
 	if *wls != "" {
 		opts.Workloads = strings.Split(*wls, ",")
 	}
@@ -57,6 +111,9 @@ func main() {
 		}
 		fmt.Println(out)
 		allRows[id] = rows
+	}
+	if *progress {
+		fmt.Fprint(os.Stderr, timer.table(10))
 	}
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)

@@ -35,7 +35,7 @@ func main() {
 		"mapping", "uniq rows/w", "ACT-64+", "ACT-512+", "RBHR", "IPC")
 
 	for _, m := range strings.Split(*mapsFlag, ",") {
-		profiles, err := sim.ProfilesFor(*wl, *cores, g, *seed)
+		profiles, err := sim.ResolveWorkload(*wl, *cores, g, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hotrows:", err)
 			os.Exit(1)

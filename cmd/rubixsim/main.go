@@ -7,14 +7,26 @@
 //	rubixsim -workload lbm -mapping coffeelake -mitigation none
 //	rubixsim -workload mcf -mapping rubixs-gs4 -mitigation aqua -trh 128
 //	rubixsim -workload mix3 -mapping rubixd-gs2 -mitigation srs -scale 0.2
+//
+// Observability:
+//
+//	rubixsim -workload mcf -mitigation aqua -metrics           # text metrics to stdout
+//	rubixsim -workload mcf -metrics-json metrics.json          # JSON snapshot to a file
+//	rubixsim -workload mcf -trace-events 256 -metrics          # keep last 256 traced events
+//	rubixsim -workload mcf -pprof localhost:6060               # net/http/pprof + /metrics
+//	rubixsim -workload mcf -cpuprofile cpu.pprof               # CPU profile of the run
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime/pprof"
 
 	"rubix/internal/geom"
+	"rubix/internal/metrics"
 	"rubix/internal/sim"
 )
 
@@ -30,6 +42,12 @@ func main() {
 		channels = flag.Int("channels", 1, "memory channels (1, 2, or 4)")
 		census   = flag.Bool("linecensus", false, "track activating lines per hot row")
 		hist     = flag.Bool("hist", false, "print the memory-latency distribution")
+
+		showMetrics = flag.Bool("metrics", false, "print the metrics snapshot (text) after the run")
+		metricsJSON = flag.String("metrics-json", "", "write the metrics snapshot as JSON to this file (- for stdout)")
+		traceEvents = flag.Int("trace-events", 0, "keep the most recent N traced events in the metrics snapshot")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	flag.Parse()
 
@@ -45,7 +63,44 @@ func main() {
 		os.Exit(2)
 	}
 
-	profiles, err := sim.ProfilesFor(*wl, *cores, g, *seed)
+	// A recorder is created whenever any observability output is requested;
+	// otherwise Config.Metrics stays nil and the hot path is untouched.
+	var rec *metrics.Recorder
+	var pub *metrics.Publisher
+	if *showMetrics || *metricsJSON != "" || *traceEvents > 0 || *pprofAddr != "" {
+		cfg := metrics.Config{TraceEvents: *traceEvents}
+		if *pprofAddr != "" {
+			pub = &metrics.Publisher{}
+			cfg.PhaseHook = pub.Hook()
+		}
+		rec = metrics.New(cfg)
+	}
+	if *pprofAddr != "" {
+		// The underscore import of net/http/pprof registered its handlers on
+		// http.DefaultServeMux; /metrics joins them.
+		http.Handle("/metrics", pub)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "rubixsim: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "rubixsim: serving pprof and /metrics on http://%s\n", *pprofAddr)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rubixsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rubixsim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	profiles, err := sim.ResolveWorkload(*wl, *cores, g, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rubixsim:", err)
 		os.Exit(1)
@@ -60,6 +115,7 @@ func main() {
 		Seed:           *seed,
 		LineCensus:     *census,
 		LatencyHist:    *hist,
+		Metrics:        rec,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rubixsim:", err)
@@ -99,6 +155,30 @@ func main() {
 		if hot > 0 {
 			fmt.Printf("line census:   1-32: %d, 32-64: %d, 64-128: %d, avg %.1f lines/hot-row\n",
 				buckets[0], buckets[1], buckets[2], float64(lineSum)/float64(hot))
+		}
+	}
+
+	if res.Metrics != nil {
+		if pub != nil {
+			pub.Publish(res.Metrics)
+		}
+		if *showMetrics {
+			fmt.Println("--- metrics ---")
+			fmt.Print(res.Metrics.Text())
+		}
+		if *metricsJSON != "" {
+			data, err := res.Metrics.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rubixsim:", err)
+				os.Exit(1)
+			}
+			if *metricsJSON == "-" {
+				os.Stdout.Write(data)
+				fmt.Println()
+			} else if err := os.WriteFile(*metricsJSON, data, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "rubixsim:", err)
+				os.Exit(1)
+			}
 		}
 	}
 }

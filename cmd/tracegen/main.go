@@ -43,7 +43,7 @@ func main() {
 	}
 
 	g := geom.DDR4_16GB()
-	profiles, err := sim.ProfilesFor(*wl, 1, g, *seed)
+	profiles, err := sim.ResolveWorkload(*wl, 1, g, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)

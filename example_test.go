@@ -1,0 +1,34 @@
+package rubix_test
+
+import (
+	"fmt"
+
+	"rubix"
+)
+
+// ExampleSuite_Prefetch warms the suite cache for a set of configurations
+// in parallel, then reads one result back instantly. Prefetch accepts the
+// same RunSpec values as Suite.Run, so a caller can enumerate a whole
+// experiment grid up front and let the suite fan it out across CPUs.
+func ExampleSuite_Prefetch() {
+	s := rubix.NewSuite(rubix.Options{
+		Scale:     0.002, // tiny runs, example-sized
+		Workloads: []string{"xz"},
+		Mixes:     []int{},
+	})
+	specs := []rubix.RunSpec{
+		{Workload: "xz", Mapping: "coffeelake", Mitigation: "none", TRH: 128},
+		{Workload: "xz", Mapping: "rubixs-gs4", Mitigation: "aqua", TRH: 128},
+	}
+	if err := s.Prefetch(specs); err != nil {
+		fmt.Println("prefetch:", err)
+		return
+	}
+	res, err := s.Run(specs[1]) // cached: returns without simulating again
+	if err != nil {
+		fmt.Println("run:", err)
+		return
+	}
+	fmt.Println(res.Config)
+	// Output: Rubix-S(GS4)/AQUA/TRH=128
+}

@@ -26,6 +26,7 @@ import (
 	"rubix/internal/geom"
 	"rubix/internal/kcipher"
 	"rubix/internal/mapping"
+	"rubix/internal/metrics"
 	"rubix/internal/rng"
 )
 
@@ -143,6 +144,9 @@ type RubixD struct {
 	rng       *rng.Xoshiro256
 	swaps     uint64 // total swap operations performed
 	skips     uint64 // remap events skipped (already-remapped location)
+
+	mSwaps *metrics.Counter
+	mSkips *metrics.Counter
 }
 
 var (
@@ -223,6 +227,14 @@ func (d *RubixD) Name() string { return fmt.Sprintf("Rubix-D(GS%d)", d.gangSize)
 
 // GangSize reports the number of contiguous lines per gang.
 func (d *RubixD) GangSize() int { return d.gangSize }
+
+// SetMetrics implements metrics.Settable: rubixd_remap_episodes counts
+// episodes that swapped, rubixd_remap_skips those that found the location
+// already remapped.
+func (d *RubixD) SetMetrics(r *metrics.Recorder) {
+	d.mSwaps = r.Counter("rubixd_remap_episodes")
+	d.mSkips = r.Counter("rubixd_remap_skips")
+}
 
 // split decomposes a line address into (rowAddr, segment, vgroup, lineInGang).
 //
@@ -326,8 +338,10 @@ func (d *RubixD) remapStep(vgroup, seg uint64) (op SwapOp, ok bool) {
 		}
 		swapped = true
 		d.swaps++
+		d.mSwaps.Inc()
 	} else {
 		d.skips++
+		d.mSkips.Inc()
 	}
 	gs.ptr++
 	if gs.ptr == uint64(1)<<d.rowBits {

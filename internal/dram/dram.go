@@ -17,6 +17,7 @@ import (
 	"math/bits"
 
 	"rubix/internal/geom"
+	"rubix/internal/metrics"
 	"rubix/internal/stats"
 )
 
@@ -200,6 +201,15 @@ type Module struct {
 	rows       map[uint64]*rowCensus
 	windowEnd  float64
 	stats      Stats
+
+	// Metrics handles (nil and no-op when metrics are disabled).
+	rec        *metrics.Recorder
+	mActDemand *metrics.Counter
+	mActExtra  *metrics.Counter
+	mHits      *metrics.Counter
+	mMisses    *metrics.Counter
+	mConflicts *metrics.Counter
+	mWriteCAS  *metrics.Counter
 }
 
 // Config configures a Module.
@@ -209,6 +219,8 @@ type Config struct {
 	TRH         int  // Rowhammer threshold for the security watchdog
 	LineCensus  bool // track activating lines per row (Table 3); costs memory
 	LatencyHist bool // collect the per-access latency distribution
+	// Metrics, when non-nil, receives per-access counters and trace events.
+	Metrics *metrics.Recorder
 }
 
 // New builds a DRAM module.
@@ -230,6 +242,13 @@ func New(cfg Config) *Module {
 	if cfg.LatencyHist {
 		m.stats.Latency = &stats.Histogram{}
 	}
+	m.rec = cfg.Metrics
+	m.mActDemand = cfg.Metrics.Counter("dram_acts_demand")
+	m.mActExtra = cfg.Metrics.Counter("dram_acts_extra")
+	m.mHits = cfg.Metrics.Counter("dram_row_hits")
+	m.mMisses = cfg.Metrics.Counter("dram_row_misses")
+	m.mConflicts = cfg.Metrics.Counter("dram_row_conflicts")
+	m.mWriteCAS = cfg.Metrics.Counter("dram_write_cas")
 	return m
 }
 
@@ -270,10 +289,14 @@ func (m *Module) AccessRW(phys uint64, earliest float64, write bool) AccessResul
 		res.RowHit = true
 		casReady = max(earliest, bank.readyAt)
 		m.stats.WaitBankNs += casReady - earliest
+		m.mHits.Inc()
 	} else {
 		start := max(earliest, bank.readyAt)
 		m.stats.WaitBankNs += start - earliest
+		m.mMisses.Inc()
 		if bank.openRow >= 0 {
+			m.mConflicts.Inc()
+			m.rec.Event(metrics.EvRowConflict, start, row)
 			// Row-hit-first: wait out the open row's lease, then precharge
 			// (after write recovery if the row was written).
 			leased := max(start, bank.leaseUntil)
@@ -307,6 +330,7 @@ func (m *Module) AccessRW(phys uint64, earliest float64, write bool) AccessResul
 	if write {
 		bank.wrote = true
 		m.stats.WriteCAS++
+		m.mWriteCAS.Inc()
 	}
 	bank.openAccesses++
 	if bank.openAccesses >= m.Timing.OpenMax {
@@ -348,6 +372,7 @@ func (m *Module) ForceActivate(globalRow uint64, at float64) {
 	bank.openRow = -1
 	bank.lastActStart = max(bank.lastActStart, at)
 	m.stats.ExtraActs++
+	m.mActExtra.Inc()
 	m.recordACT(globalRow, -1, at, false)
 }
 
@@ -366,6 +391,8 @@ func (m *Module) BlockChannel(globalRow uint64, from, dur float64) {
 func (m *Module) recordACT(row uint64, slot int, at float64, demand bool) {
 	if demand {
 		m.stats.DemandActs++
+		m.mActDemand.Inc()
+		m.rec.Event(metrics.EvActivation, at, row)
 	}
 	for at >= m.windowEnd {
 		m.rollWindow()

@@ -107,7 +107,7 @@ func checkTimeCall(pass *Pass, call *ast.CallExpr) {
 	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !timeFuncs[fn.Name()] {
 		return
 	}
-	pass.Reportf(call.Pos(), "time.%s reads the wall clock; simulation time must come from the model", fn.Name())
+	pass.Reportf(call.Pos(), "time.%s reads the wall clock; simulation time must come from the model (telemetry-only reads may carry //lint:allow determinism <justification>)", fn.Name())
 }
 
 // reportMutablePackageState flags package-level variables that the package

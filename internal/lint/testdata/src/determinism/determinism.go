@@ -47,6 +47,13 @@ func SumCommutative(m map[string]int) int {
 	return total
 }
 
+// BootStamp is telemetry about the host run, not simulation state — the
+// sanctioned use of the wall clock, recorded with an allow annotation.
+func BootStamp() int64 {
+	//lint:allow determinism telemetry-only timestamp, never feeds simulation state
+	return time.Now().UnixNano()
+}
+
 // SumSorted extracts and sorts the keys first — the preferred rewrite.
 func SumSorted(m map[string]int) []int {
 	keys := make([]string, 0, len(m))

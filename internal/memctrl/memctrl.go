@@ -9,6 +9,7 @@ import (
 	"rubix/internal/core"
 	"rubix/internal/dram"
 	"rubix/internal/mapping"
+	"rubix/internal/metrics"
 	"rubix/internal/mitigation"
 )
 
@@ -33,6 +34,11 @@ type Controller struct {
 	writeFrac    float64
 	writeAccum   float64
 	remapSwapCnt uint64
+
+	// Metrics handles (nil and no-op when metrics are disabled).
+	rec        *metrics.Recorder
+	mAccesses  *metrics.Counter
+	mRemapSwap *metrics.Counter
 }
 
 // Config configures a Controller.
@@ -47,6 +53,8 @@ type Config struct {
 	// (writebacks), charging write-recovery time before precharges and
 	// separate CAS-W accounting. Zero keeps the read-only model.
 	WriteFraction float64
+	// Metrics, when non-nil, receives controller counters and swap events.
+	Metrics *metrics.Recorder
 }
 
 // New builds a controller. If the mapper implements Dynamic (Rubix-D), its
@@ -65,12 +73,16 @@ func New(cfg Config) *Controller {
 	if d, ok := cfg.Map.(Dynamic); ok {
 		c.dyn = d
 	}
+	c.rec = cfg.Metrics
+	c.mAccesses = cfg.Metrics.Counter("memctrl_accesses")
+	c.mRemapSwap = cfg.Metrics.Counter("memctrl_remap_swaps")
 	return c
 }
 
 // Access performs one line-granular memory access issued at `arrival` ns and
 // returns the time at which data is available.
 func (c *Controller) Access(line uint64, arrival float64) float64 {
+	c.mAccesses.Inc()
 	for arrival >= c.nextReset {
 		c.Mit.ResetWindow()
 		c.nextReset += c.window
@@ -128,6 +140,8 @@ func (c *Controller) chargeSwap(op core.SwapOp, at float64) {
 	block := float64(op.Acts)*(t.TRCD+t.TRP) + float64(op.CAS)*t.TBurst
 	c.DRAM.BlockChannel(op.RowX, at, block)
 	c.remapSwapCnt++
+	c.mRemapSwap.Inc()
+	c.rec.Event(metrics.EvRemapSwap, at, op.RowX)
 }
 
 // RemapSwaps reports the number of Rubix-D gang swaps charged so far.

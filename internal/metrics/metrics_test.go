@@ -1,0 +1,197 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter accumulated")
+	}
+	g := r.Gauge("y")
+	g.Set(3)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge stored")
+	}
+	h := r.Hist("z")
+	h.Observe(1)
+	h.Merge(nil)
+	r.Event(EvActivation, 1, 2)
+	r.Phase("p")
+	if r.Snapshot() != nil {
+		t.Fatal("nil recorder produced a snapshot")
+	}
+}
+
+func TestCountersGaugesHists(t *testing.T) {
+	r := New(Config{})
+	c := r.Counter("acts")
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("counter = %d, want 10", c.Value())
+	}
+	if r.Counter("acts") != c {
+		t.Fatal("same name returned a different handle")
+	}
+	r.Gauge("ipc").Set(1.5)
+	h := r.Hist("lat")
+	for _, v := range []float64{1, 2, 4, 8} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+	if s.Counters["acts"] != 10 || s.Gauges["ipc"] != 1.5 {
+		t.Fatalf("snapshot content wrong: %+v", s)
+	}
+	if hs := s.Hists["lat"]; hs.Count != 4 || hs.Max != 8 {
+		t.Fatalf("hist stats wrong: %+v", hs)
+	}
+}
+
+func TestEventRingBounds(t *testing.T) {
+	r := New(Config{TraceEvents: 4})
+	for i := 0; i < 10; i++ {
+		r.Event(EvActivation, float64(i), uint64(i))
+	}
+	s := r.Snapshot()
+	if len(s.Events) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(s.Events))
+	}
+	if s.EventsDropped != 6 {
+		t.Fatalf("dropped = %d, want 6", s.EventsDropped)
+	}
+	// Oldest-first unroll of the most recent 4: rows 6..9.
+	for i, e := range s.Events {
+		if e.Row != uint64(6+i) {
+			t.Fatalf("event %d row = %d, want %d", i, e.Row, 6+i)
+		}
+	}
+}
+
+func TestEventRingPartiallyFilled(t *testing.T) {
+	r := New(Config{TraceEvents: 8})
+	r.Event(EvRemapSwap, 5, 42)
+	s := r.Snapshot()
+	if len(s.Events) != 1 || s.EventsDropped != 0 || s.Events[0].Row != 42 {
+		t.Fatalf("partial ring snapshot wrong: %+v", s)
+	}
+}
+
+func TestPhasesAndHook(t *testing.T) {
+	var hooked int
+	r := New(Config{PhaseHook: func(s *Snapshot) {
+		if s == nil {
+			t.Fatal("hook received nil snapshot")
+		}
+		hooked++
+	}})
+	r.Phase("warmup")
+	r.Phase("simulate")
+	s := r.Snapshot()
+	if len(s.Phases) != 2 || s.Phases[0].Name != "warmup" || s.Phases[1].Name != "simulate" {
+		t.Fatalf("phases wrong: %+v", s.Phases)
+	}
+	for _, p := range s.Phases {
+		if p.WallMs < 0 {
+			t.Fatalf("negative phase duration: %+v", p)
+		}
+	}
+	if hooked != 2 {
+		t.Fatalf("hook fired %d times, want 2", hooked)
+	}
+	if st := s.StripTimings(); st.Phases != nil {
+		t.Fatal("StripTimings kept phases")
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func() *Recorder {
+		r := New(Config{TraceEvents: 2})
+		r.Counter("b").Add(2)
+		r.Counter("a").Add(1)
+		r.Gauge("g").Set(0.25)
+		r.Hist("h").Observe(3)
+		r.Event(EvMitigation, 10, 7)
+		return r
+	}
+	a, err := build().Snapshot().StripTimings().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := build().Snapshot().StripTimings().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical recorders produced different JSON:\n%s\n---\n%s", a, b)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(a, &parsed); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+}
+
+func TestTextRendering(t *testing.T) {
+	r := New(Config{TraceEvents: 1})
+	r.Counter("dram_row_hits").Add(3)
+	r.Gauge("sim_mean_ipc").Set(1.25)
+	r.Event(EvRowConflict, 99, 4)
+	r.Phase("simulate")
+	text := r.Snapshot().Text()
+	for _, want := range []string{
+		"counter dram_row_hits 3",
+		"gauge sim_mean_ipc 1.25",
+		"phase simulate",
+		"event row-conflict at=99.0 row=4",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestAttach(t *testing.T) {
+	r := New(Config{})
+	a := &settable{}
+	Attach(r, a, "not settable", nil)
+	if a.got != r {
+		t.Fatal("Attach did not wire the recorder")
+	}
+	b := &settable{}
+	Attach(nil, b)
+	if b.got != nil {
+		t.Fatal("nil recorder attached")
+	}
+}
+
+type settable struct{ got *Recorder }
+
+func (s *settable) SetMetrics(r *Recorder) { s.got = r }
+
+func TestPublisher(t *testing.T) {
+	var p Publisher
+	rec := httptest.NewRecorder()
+	p.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 503 {
+		t.Fatalf("empty publisher status = %d, want 503", rec.Code)
+	}
+	r := New(Config{PhaseHook: p.Hook()})
+	r.Counter("n").Inc()
+	r.Phase("simulate")
+	if p.Latest() == nil {
+		t.Fatal("phase transition did not publish")
+	}
+	rec = httptest.NewRecorder()
+	p.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "counter n 1") {
+		t.Fatalf("served %d: %q", rec.Code, rec.Body.String())
+	}
+}

@@ -1,0 +1,50 @@
+// Publisher decouples concurrent readers (the /metrics HTTP endpoint) from
+// the single-threaded Recorder: the simulation thread publishes immutable
+// Snapshots at phase boundaries, and readers only ever see a published
+// snapshot — never the live counters — so serving metrics adds no locks to
+// the hot path and no races under -race.
+
+package metrics
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Publisher holds the latest published Snapshot and serves it over HTTP.
+// The zero value is ready to use.
+type Publisher struct {
+	cur atomic.Pointer[Snapshot]
+}
+
+// Publish makes s the snapshot served to readers. Callers must not mutate s
+// afterwards (Recorder.Snapshot returns fresh value data, so publishing its
+// result directly is safe).
+func (p *Publisher) Publish(s *Snapshot) {
+	if s != nil {
+		p.cur.Store(s)
+	}
+}
+
+// Latest returns the most recently published snapshot, or nil if none.
+func (p *Publisher) Latest() *Snapshot {
+	return p.cur.Load()
+}
+
+// Hook returns a PhaseHook that publishes every snapshot it receives — the
+// glue between a Recorder's phase transitions and this Publisher.
+func (p *Publisher) Hook() func(*Snapshot) {
+	return func(s *Snapshot) { p.Publish(s) }
+}
+
+// ServeHTTP implements http.Handler: the text rendering of the latest
+// snapshot, or 503 before the first publish.
+func (p *Publisher) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	s := p.Latest()
+	if s == nil {
+		http.Error(w, "no metrics published yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte(s.Text()))
+}

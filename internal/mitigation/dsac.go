@@ -15,6 +15,7 @@ package mitigation
 
 import (
 	"rubix/internal/dram"
+	"rubix/internal/metrics"
 	"rubix/internal/rng"
 	"rubix/internal/tracker"
 )
@@ -27,6 +28,9 @@ type DSAC struct {
 	rng       *rng.Xoshiro256
 	refreshes uint64
 	escapes   uint64
+
+	rec      *metrics.Recorder
+	mActions *metrics.Counter
 }
 
 // DSACConfig configures NewDSAC.
@@ -59,6 +63,14 @@ func NewDSAC(d *dram.Module, cfg DSACConfig) *DSAC {
 // Name implements Mitigator.
 func (t *DSAC) Name() string { return "DSAC" }
 
+// SetMetrics implements metrics.Settable: mitigation_actions counts victim
+// refreshes (escaped reports are not actions).
+func (t *DSAC) SetMetrics(r *metrics.Recorder) {
+	t.rec = r
+	t.mActions = r.Counter("mitigation_actions")
+	metrics.Attach(r, t.trk)
+}
+
 // TranslateRow implements Mitigator.
 func (t *DSAC) TranslateRow(row uint64) uint64 { return row }
 
@@ -84,6 +96,8 @@ func (t *DSAC) OnACT(row uint64, actStart float64) {
 		t.dram.ForceActivate(row+stride, actStart)
 	}
 	t.refreshes++
+	t.mActions.Inc()
+	t.rec.Event(metrics.EvMitigation, actStart, row)
 }
 
 // ResetWindow implements Mitigator.

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"rubix/internal/dram"
+	"rubix/internal/metrics"
 	"rubix/internal/rng"
 	"rubix/internal/tracker"
 )
@@ -141,6 +142,9 @@ type AQUA struct {
 	epoch      uint32
 	migrateNs  float64
 	migrations uint64
+
+	rec      *metrics.Recorder
+	mActions *metrics.Counter
 }
 
 // AQUAConfig configures NewAQUA.
@@ -210,6 +214,14 @@ func autoTrackerCapacity(d *dram.Module, threshold int) int {
 // Name implements Mitigator.
 func (a *AQUA) Name() string { return "AQUA" }
 
+// SetMetrics implements metrics.Settable: mitigation_actions counts
+// migrations; the tracker's counters are wired through.
+func (a *AQUA) SetMetrics(r *metrics.Recorder) {
+	a.rec = r
+	a.mActions = r.Counter("mitigation_actions")
+	metrics.Attach(r, a.trk)
+}
+
 // TranslateRow implements Mitigator.
 func (a *AQUA) TranslateRow(row uint64) uint64 { return a.ind.current(row) }
 
@@ -262,6 +274,8 @@ func (a *AQUA) OnACT(row uint64, actStart float64) {
 	a.forceTracked(dst, actStart)
 	a.dram.AddExtraCAS(2 * a.dram.Geom.LinesPerRow())
 	a.migrations++
+	a.mActions.Inc()
+	a.rec.Event(metrics.EvMitigation, actStart, row)
 }
 
 // forceTracked performs a mitigation-generated activation and feeds it to
@@ -294,6 +308,9 @@ type SRS struct {
 	rng    *rng.Xoshiro256
 	swapNs float64
 	swaps  uint64
+
+	rec      *metrics.Recorder
+	mActions *metrics.Counter
 }
 
 // SRSConfig configures NewSRS.
@@ -329,6 +346,13 @@ func NewSRS(d *dram.Module, cfg SRSConfig) *SRS {
 // Name implements Mitigator.
 func (s *SRS) Name() string { return "SRS" }
 
+// SetMetrics implements metrics.Settable: mitigation_actions counts swaps.
+func (s *SRS) SetMetrics(r *metrics.Recorder) {
+	s.rec = r
+	s.mActions = r.Counter("mitigation_actions")
+	metrics.Attach(r, s.trk)
+}
+
 // TranslateRow implements Mitigator.
 func (s *SRS) TranslateRow(row uint64) uint64 { return s.ind.current(row) }
 
@@ -357,6 +381,8 @@ func (s *SRS) OnACT(row uint64, actStart float64) {
 	}
 	s.dram.AddExtraCAS(4 * s.dram.Geom.LinesPerRow())
 	s.swaps++
+	s.mActions.Inc()
+	s.rec.Event(metrics.EvMitigation, actStart, row)
 }
 
 // ResetWindow implements Mitigator.
@@ -378,6 +404,10 @@ type BlockHammer struct {
 	nextAllowed map[uint64]float64
 	throttled   uint64
 	delayNs     float64
+
+	rec      *metrics.Recorder
+	mActions *metrics.Counter
+	gDelay   *metrics.Gauge
 }
 
 // BlockHammerConfig configures NewBlockHammer.
@@ -416,6 +446,15 @@ func NewBlockHammer(d *dram.Module, cfg BlockHammerConfig) *BlockHammer {
 // Name implements Mitigator.
 func (b *BlockHammer) Name() string { return "BlockHammer" }
 
+// SetMetrics implements metrics.Settable: mitigation_actions counts
+// throttled activations, blockhammer_delay_ns the total injected delay.
+func (b *BlockHammer) SetMetrics(r *metrics.Recorder) {
+	b.rec = r
+	b.mActions = r.Counter("mitigation_actions")
+	b.gDelay = r.Gauge("blockhammer_delay_ns")
+	metrics.Attach(r, b.trk)
+}
+
 // TranslateRow implements Mitigator.
 func (b *BlockHammer) TranslateRow(row uint64) uint64 { return row }
 
@@ -432,6 +471,9 @@ func (b *BlockHammer) ReleaseTime(row uint64, arrival float64) float64 {
 	if t > arrival {
 		b.throttled++
 		b.delayNs += t - arrival
+		b.mActions.Inc()
+		b.gDelay.Set(b.delayNs)
+		b.rec.Event(metrics.EvMitigation, arrival, row)
 	}
 	return t
 }
@@ -468,6 +510,9 @@ type TRR struct {
 	dram      *dram.Module
 	trk       *tracker.PerRow
 	refreshes uint64
+
+	rec      *metrics.Recorder
+	mActions *metrics.Counter
 }
 
 // NewTRR builds the TRR mitigator over module d with threshold trh.
@@ -481,6 +526,14 @@ func NewTRR(d *dram.Module, trh int) *TRR {
 
 // Name implements Mitigator.
 func (t *TRR) Name() string { return "TRR" }
+
+// SetMetrics implements metrics.Settable: mitigation_actions counts victim
+// refreshes.
+func (t *TRR) SetMetrics(r *metrics.Recorder) {
+	t.rec = r
+	t.mActions = r.Counter("mitigation_actions")
+	metrics.Attach(r, t.trk)
+}
 
 // TranslateRow implements Mitigator.
 func (t *TRR) TranslateRow(row uint64) uint64 { return row }
@@ -504,6 +557,8 @@ func (t *TRR) OnACT(row uint64, actStart float64) {
 		t.dram.ForceActivate(row+stride, actStart)
 	}
 	t.refreshes++
+	t.mActions.Inc()
+	t.rec.Event(metrics.EvMitigation, actStart, row)
 }
 
 // ResetWindow implements Mitigator.

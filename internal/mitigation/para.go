@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"rubix/internal/dram"
+	"rubix/internal/metrics"
 	"rubix/internal/rng"
 )
 
@@ -25,6 +26,9 @@ type PARA struct {
 	p         float64
 	rng       *rng.Xoshiro256
 	refreshes uint64
+
+	rec      *metrics.Recorder
+	mActions *metrics.Counter
 }
 
 // PARAConfig configures NewPARA.
@@ -56,6 +60,13 @@ func NewPARA(d *dram.Module, cfg PARAConfig) *PARA {
 // Name implements Mitigator.
 func (p *PARA) Name() string { return "PARA" }
 
+// SetMetrics implements metrics.Settable: mitigation_actions counts victim
+// refreshes.
+func (p *PARA) SetMetrics(r *metrics.Recorder) {
+	p.rec = r
+	p.mActions = r.Counter("mitigation_actions")
+}
+
 // TranslateRow implements Mitigator.
 func (p *PARA) TranslateRow(row uint64) uint64 { return row }
 
@@ -76,6 +87,8 @@ func (p *PARA) OnACT(row uint64, actStart float64) {
 		p.dram.ForceActivate(row+stride, actStart)
 	}
 	p.refreshes++
+	p.mActions.Inc()
+	p.rec.Event(metrics.EvMitigation, actStart, row)
 }
 
 // ResetWindow implements Mitigator: PARA is stateless.

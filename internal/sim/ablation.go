@@ -33,11 +33,11 @@ func (s *Suite) AblationRemapRate(gs int, rates []float64) ([]RemapRateRow, erro
 		var perf, extra, hot float64
 		var swaps uint64
 		for _, wl := range wls {
-			base, err := s.Run(wl, "coffeelake", "none", 128, false)
+			base, err := s.Run(RunSpec{Workload: wl, Mapping: "coffeelake", Mitigation: "none", TRH: 128})
 			if err != nil {
 				return nil, err
 			}
-			profiles, err := ProfilesFor(wl, s.opts.Cores, s.opts.Geometry, s.opts.Seed)
+			profiles, err := ResolveWorkload(wl, s.opts.Cores, s.opts.Geometry, s.opts.Seed)
 			if err != nil {
 				return nil, err
 			}
@@ -106,7 +106,7 @@ type SegmentRow struct {
 func (s *Suite) AblationSegments(gs int, segments []int) ([]SegmentRow, error) {
 	wls := s.opts.Workloads
 	for _, wl := range wls {
-		if _, err := s.Run(wl, "coffeelake", "none", 128, false); err != nil {
+		if _, err := s.Run(RunSpec{Workload: wl, Mapping: "coffeelake", Mitigation: "none", TRH: 128}); err != nil {
 			return nil, err
 		}
 	}
@@ -116,8 +116,8 @@ func (s *Suite) AblationSegments(gs int, segments []int) ([]SegmentRow, error) {
 		var storage int
 		var period float64
 		for _, wl := range wls {
-			base, _ := s.Run(wl, "coffeelake", "none", 128, false)
-			profiles, err := ProfilesFor(wl, s.opts.Cores, s.opts.Geometry, s.opts.Seed)
+			base, _ := s.Run(RunSpec{Workload: wl, Mapping: "coffeelake", Mitigation: "none", TRH: 128})
+			profiles, err := ResolveWorkload(wl, s.opts.Cores, s.opts.Geometry, s.opts.Seed)
 			if err != nil {
 				return nil, err
 			}
@@ -196,7 +196,7 @@ func (s *Suite) AblationPagePolicy() ([]PagePolicyRow, error) {
 	for _, pol := range policies {
 		var ipc, hit, hot float64
 		for _, wl := range wls {
-			profiles, err := ProfilesFor(wl, s.opts.Cores, s.opts.Geometry, s.opts.Seed)
+			profiles, err := ResolveWorkload(wl, s.opts.Cores, s.opts.Geometry, s.opts.Seed)
 			if err != nil {
 				return nil, err
 			}
@@ -267,7 +267,7 @@ func (s *Suite) AblationWriteTraffic(fracs []float64) ([]WriteTrafficRow, error)
 		var ipc float64
 		var writes uint64
 		for _, wl := range wls {
-			profiles, err := ProfilesFor(wl, s.opts.Cores, s.opts.Geometry, s.opts.Seed)
+			profiles, err := ResolveWorkload(wl, s.opts.Cores, s.opts.Geometry, s.opts.Seed)
 			if err != nil {
 				return nil, err
 			}
@@ -363,11 +363,11 @@ func (s *Suite) AblationTrackers() ([]TrackerRow, error) {
 		var perf float64
 		var mits uint64
 		for _, wl := range wls {
-			base, err := s.Run(wl, "coffeelake", "none", trh, false)
+			base, err := s.Run(RunSpec{Workload: wl, Mapping: "coffeelake", Mitigation: "none", TRH: trh})
 			if err != nil {
 				return nil, err
 			}
-			profiles, err := ProfilesFor(wl, s.opts.Cores, s.opts.Geometry, s.opts.Seed)
+			profiles, err := ResolveWorkload(wl, s.opts.Cores, s.opts.Geometry, s.opts.Seed)
 			if err != nil {
 				return nil, err
 			}
@@ -424,11 +424,11 @@ func (s *Suite) AblationTRR(mappings []string) ([]TRRRow, error) {
 		var perf float64
 		var refreshes uint64
 		for _, wl := range wls {
-			base, err := s.Run(wl, "coffeelake", "none", 128, false)
+			base, err := s.Run(RunSpec{Workload: wl, Mapping: "coffeelake", Mitigation: "none", TRH: 128})
 			if err != nil {
 				return nil, err
 			}
-			res, err := s.Run(wl, m, "trr", 128, false)
+			res, err := s.Run(RunSpec{Workload: wl, Mapping: m, Mitigation: "trr", TRH: 128})
 			if err != nil {
 				return nil, err
 			}

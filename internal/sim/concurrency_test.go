@@ -23,21 +23,21 @@ func renderResult(r *Result) string {
 // cached *Result for a given key.
 func TestPrefetchConcurrent(t *testing.T) {
 	s := NewSuite(Options{Scale: 0.004, Workloads: []string{"mcf", "xz"}, Mixes: []int{}, Seed: 17})
-	keys := []runKey{
+	specs := []RunSpec{
 		{"mcf", "coffeelake", "none", 1000, false},
 		{"mcf", "rubixs-gs1", "none", 1000, false},
 		{"xz", "coffeelake", "none", 1000, false},
 		{"xz", "rubixs-gs1", "none", 1000, false},
 	}
-	if err := s.Prefetch(keys); err != nil {
+	if err := s.Prefetch(specs); err != nil {
 		t.Fatal(err)
 	}
 
-	// Race direct Run calls over the (now warm) cache plus one cold key, with
+	// Race direct Run calls over the (now warm) cache plus one cold spec, with
 	// parallelism strictly greater than one regardless of GOMAXPROCS.
 	const callers = 8
-	cold := runKey{"mcf", "sequential", "none", 1000, false}
-	all := append(append([]runKey(nil), keys...), cold)
+	cold := RunSpec{"mcf", "sequential", "none", 1000, false}
+	all := append(append([]RunSpec(nil), specs...), cold)
 	results := make([][]*Result, callers)
 	var wg sync.WaitGroup
 	for c := 0; c < callers; c++ {
@@ -45,7 +45,7 @@ func TestPrefetchConcurrent(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			for _, k := range all {
-				res, err := s.Run(k.wl, k.mapName, k.mitName, k.trh, k.lineCensus)
+				res, err := s.Run(k)
 				if err != nil {
 					t.Errorf("caller %d: %v", c, err)
 					return
@@ -75,7 +75,7 @@ func TestPrefetchConcurrent(t *testing.T) {
 func TestDeterministicReplayBytes(t *testing.T) {
 	run := func() string {
 		s := NewSuite(Options{Scale: 0.004, Workloads: []string{"mcf"}, Mixes: []int{}, Seed: 29})
-		res, err := s.Run("mcf", "rubixd-gs2", "aqua", 1000, true)
+		res, err := s.Run(RunSpec{Workload: "mcf", Mapping: "rubixd-gs2", Mitigation: "aqua", TRH: 1000, LineCensus: true})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -15,6 +15,7 @@ import (
 	"rubix/internal/analytic"
 	"rubix/internal/dram"
 	"rubix/internal/geom"
+	"rubix/internal/metrics"
 	"rubix/internal/workload"
 )
 
@@ -34,6 +35,12 @@ type Options struct {
 	Seed uint64
 	// Geometry overrides the baseline 16 GB geometry when non-zero.
 	Geometry geom.Geometry
+	// OnRunDone, when non-nil, is called after each fresh (non-cached)
+	// simulation completes, with the spec, its result, and the wall time it
+	// took in nanoseconds. Called from whichever goroutine ran the
+	// simulation; the callback must be safe for concurrent use under
+	// Prefetch. Used by CLIs for progress reporting.
+	OnRunDone func(spec RunSpec, res *Result, wallNs int64)
 }
 
 // withDefaults normalizes options.
@@ -75,20 +82,30 @@ func (o Options) allWorkloadNames() []string {
 	return names
 }
 
+// RunSpec names one simulation configuration on a Suite: which workload to
+// run under which mapping and mitigation, at which Rowhammer threshold, and
+// whether to collect the activating-line census. The zero value is not a
+// valid spec. RunSpec is comparable and doubles as the Suite's cache key,
+// so two Runs with equal specs share one simulation.
+type RunSpec struct {
+	Workload   string // SPEC name, "mixN", or "stream-<kernel>"
+	Mapping    string // mapping name (see MapperFor)
+	Mitigation string // mitigation name (see mitigation.ByName)
+	TRH        int    // Rowhammer threshold
+	LineCensus bool   // collect the Table 3 activating-line census
+}
+
+// String renders the spec the way reports caption configurations.
+func (k RunSpec) String() string {
+	return fmt.Sprintf("%s/%s/%s/TRH=%d", k.Workload, k.Mapping, k.Mitigation, k.TRH)
+}
+
 // Suite caches simulation runs shared between experiments.
 type Suite struct {
 	opts Options
 
 	mu    sync.Mutex
-	cache map[runKey]*runEntry
-}
-
-type runKey struct {
-	wl         string
-	mapName    string
-	mitName    string
-	trh        int
-	lineCensus bool
+	cache map[RunSpec]*runEntry
 }
 
 type runEntry struct {
@@ -99,64 +116,70 @@ type runEntry struct {
 
 // NewSuite builds an experiment suite.
 func NewSuite(opts Options) *Suite {
-	return &Suite{opts: opts.withDefaults(), cache: make(map[runKey]*runEntry)}
+	return &Suite{opts: opts.withDefaults(), cache: make(map[RunSpec]*runEntry)}
 }
 
 // Run executes (or returns the cached result of) one configuration.
-func (s *Suite) Run(wl, mapName, mitName string, trh int, lineCensus bool) (*Result, error) {
-	key := runKey{wl, mapName, mitName, trh, lineCensus}
+func (s *Suite) Run(spec RunSpec) (*Result, error) {
 	s.mu.Lock()
-	e, ok := s.cache[key]
+	e, ok := s.cache[spec]
 	if !ok {
 		e = &runEntry{}
-		s.cache[key] = e
+		s.cache[spec] = e
 	}
 	s.mu.Unlock()
 	e.once.Do(func() {
-		profiles, err := ProfilesFor(wl, s.opts.Cores, s.opts.Geometry, s.opts.Seed)
+		start := metrics.WallNow()
+		profiles, err := ResolveWorkload(spec.Workload, s.opts.Cores, s.opts.Geometry, s.opts.Seed)
 		if err != nil {
 			e.err = err
 			return
 		}
 		e.res, e.err = Run(Config{
 			Geometry:       s.opts.Geometry,
-			TRH:            trh,
-			MappingName:    mapName,
-			MitigationName: mitName,
+			TRH:            spec.TRH,
+			MappingName:    spec.Mapping,
+			MitigationName: spec.Mitigation,
 			Workloads:      profiles,
 			InstrPerCore:   s.opts.instrPerCore(),
 			Seed:           s.opts.Seed,
-			LineCensus:     lineCensus,
+			LineCensus:     spec.LineCensus,
 		})
+		if e.err == nil && s.opts.OnRunDone != nil {
+			s.opts.OnRunDone(spec, e.res, metrics.WallNow()-start)
+		}
 	})
 	return e.res, e.err
 }
 
-// Prefetch executes the given configurations in parallel, filling the cache.
-func (s *Suite) Prefetch(keys []runKey) error {
+// Prefetch executes the given configurations in parallel, filling the
+// cache so subsequent Run calls return instantly. Duplicate specs cost
+// nothing: the per-spec sync.Once guarantees each unique configuration is
+// simulated exactly once even when Prefetch races with Run.
+func (s *Suite) Prefetch(specs []RunSpec) error {
 	workers := runtime.NumCPU()
-	if workers > len(keys) {
-		workers = len(keys)
+	if workers > len(specs) {
+		workers = len(specs)
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	ch := make(chan runKey)
-	errs := make(chan error, len(keys))
+	ch := make(chan RunSpec)
+	errs := make(chan error, len(specs))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for k := range ch {
-				if _, err := s.Run(k.wl, k.mapName, k.mitName, k.trh, k.lineCensus); err != nil {
+			for spec := range ch {
+				if _, err := s.Run(spec); err != nil {
 					errs <- err
 				}
 			}
 		}()
 	}
-	for _, k := range keys {
-		ch <- k
+	for _, spec := range specs {
+		ch <- spec
 	}
 	close(ch)
 	wg.Wait()
@@ -172,11 +195,11 @@ func (s *Suite) Prefetch(keys []runKey) error {
 // NormPerf returns the performance of (mapName, mitName, trh) on wl
 // normalized to the unprotected Coffee Lake baseline, the paper's metric.
 func (s *Suite) NormPerf(wl, mapName, mitName string, trh int) (float64, error) {
-	base, err := s.Run(wl, "coffeelake", "none", trh, false)
+	base, err := s.Run(RunSpec{Workload: wl, Mapping: "coffeelake", Mitigation: "none", TRH: trh})
 	if err != nil {
 		return 0, err
 	}
-	res, err := s.Run(wl, mapName, mitName, trh, false)
+	res, err := s.Run(RunSpec{Workload: wl, Mapping: mapName, Mitigation: mitName, TRH: trh})
 	if err != nil {
 		return 0, err
 	}
@@ -188,13 +211,13 @@ func (s *Suite) NormPerf(wl, mapName, mitName string, trh int) (float64, error) 
 
 // MeanNormPerf averages NormPerf across the workload list.
 func (s *Suite) MeanNormPerf(wls []string, mapName, mitName string, trh int) (float64, error) {
-	keys := make([]runKey, 0, 2*len(wls))
+	specs := make([]RunSpec, 0, 2*len(wls))
 	for _, wl := range wls {
-		keys = append(keys,
-			runKey{wl, "coffeelake", "none", trh, false},
-			runKey{wl, mapName, mitName, trh, false})
+		specs = append(specs,
+			RunSpec{Workload: wl, Mapping: "coffeelake", Mitigation: "none", TRH: trh},
+			RunSpec{Workload: wl, Mapping: mapName, Mitigation: mitName, TRH: trh})
 	}
-	if err := s.Prefetch(keys); err != nil {
+	if err := s.Prefetch(specs); err != nil {
 		return 0, err
 	}
 	sum := 0.0
@@ -282,16 +305,16 @@ type Table2Row struct {
 // Table2 characterizes the SPEC suite on the unprotected Coffee Lake
 // baseline.
 func (s *Suite) Table2() ([]Table2Row, error) {
-	keys := make([]runKey, 0, len(s.opts.Workloads))
+	specs := make([]RunSpec, 0, len(s.opts.Workloads))
 	for _, wl := range s.opts.Workloads {
-		keys = append(keys, runKey{wl, "coffeelake", "none", 128, false})
+		specs = append(specs, RunSpec{Workload: wl, Mapping: "coffeelake", Mitigation: "none", TRH: 128})
 	}
-	if err := s.Prefetch(keys); err != nil {
+	if err := s.Prefetch(specs); err != nil {
 		return nil, err
 	}
 	var rows []Table2Row
 	for _, wl := range s.opts.Workloads {
-		res, err := s.Run(wl, "coffeelake", "none", 128, false)
+		res, err := s.Run(RunSpec{Workload: wl, Mapping: "coffeelake", Mitigation: "none", TRH: 128})
 		if err != nil {
 			return nil, err
 		}
@@ -437,16 +460,16 @@ type Table3Row struct {
 // Table3 measures, for each hot row on the baseline mapping, how many
 // distinct lines contributed activations (workloads with 100+ hot rows).
 func (s *Suite) Table3() ([]Table3Row, error) {
-	keys := make([]runKey, 0, len(s.opts.Workloads))
+	specs := make([]RunSpec, 0, len(s.opts.Workloads))
 	for _, wl := range s.opts.Workloads {
-		keys = append(keys, runKey{wl, "coffeelake", "none", 128, true})
+		specs = append(specs, RunSpec{Workload: wl, Mapping: "coffeelake", Mitigation: "none", TRH: 128, LineCensus: true})
 	}
-	if err := s.Prefetch(keys); err != nil {
+	if err := s.Prefetch(specs); err != nil {
 		return nil, err
 	}
 	var rows []Table3Row
 	for _, wl := range s.opts.Workloads {
-		res, err := s.Run(wl, "coffeelake", "none", 128, true)
+		res, err := s.Run(RunSpec{Workload: wl, Mapping: "coffeelake", Mitigation: "none", TRH: 128, LineCensus: true})
 		if err != nil {
 			return nil, err
 		}
@@ -498,20 +521,20 @@ type HotRowsRow struct {
 // uses {coffeelake, skylake, rubixs-gs4}; Figure 12 adds the other Rubix
 // variants, averaged over workloads).
 func (s *Suite) HotRows(mappings []string) ([]HotRowsRow, error) {
-	var keys []runKey
+	var specs []RunSpec
 	for _, wl := range s.opts.Workloads {
 		for _, m := range mappings {
-			keys = append(keys, runKey{wl, m, "none", 128, false})
+			specs = append(specs, RunSpec{Workload: wl, Mapping: m, Mitigation: "none", TRH: 128})
 		}
 	}
-	if err := s.Prefetch(keys); err != nil {
+	if err := s.Prefetch(specs); err != nil {
 		return nil, err
 	}
 	var rows []HotRowsRow
 	for _, wl := range s.opts.Workloads {
 		row := HotRowsRow{Workload: wl}
 		for _, m := range mappings {
-			res, err := s.Run(wl, m, "none", 128, false)
+			res, err := s.Run(RunSpec{Workload: wl, Mapping: m, Mitigation: "none", TRH: 128})
 			if err != nil {
 				return nil, err
 			}
@@ -561,14 +584,14 @@ type PerfRow struct {
 // mappings, per workload, normalized to unprotected Coffee Lake.
 func (s *Suite) PerfAtTRH(mit string, trh int, mappings []string) ([]PerfRow, error) {
 	wls := s.opts.allWorkloadNames()
-	var keys []runKey
+	var specs []RunSpec
 	for _, wl := range wls {
-		keys = append(keys, runKey{wl, "coffeelake", "none", trh, false})
+		specs = append(specs, RunSpec{Workload: wl, Mapping: "coffeelake", Mitigation: "none", TRH: trh})
 		for _, m := range mappings {
-			keys = append(keys, runKey{wl, m, mit, trh, false})
+			specs = append(specs, RunSpec{Workload: wl, Mapping: m, Mitigation: mit, TRH: trh})
 		}
 	}
-	if err := s.Prefetch(keys); err != nil {
+	if err := s.Prefetch(specs); err != nil {
 		return nil, err
 	}
 	var rows []PerfRow
@@ -629,16 +652,16 @@ type GangSizeRow struct {
 // (mapping, mitigation) pair over the SPEC workloads.
 func (s *Suite) GangSweep(mappings, mitigations []string, trh int) ([]GangSizeRow, error) {
 	wls := s.opts.Workloads
-	var keys []runKey
+	var specs []RunSpec
 	for _, wl := range wls {
-		keys = append(keys, runKey{wl, "coffeelake", "none", trh, false})
+		specs = append(specs, RunSpec{Workload: wl, Mapping: "coffeelake", Mitigation: "none", TRH: trh})
 		for _, m := range mappings {
 			for _, mit := range mitigations {
-				keys = append(keys, runKey{wl, m, mit, trh, false})
+				specs = append(specs, RunSpec{Workload: wl, Mapping: m, Mitigation: mit, TRH: trh})
 			}
 		}
 	}
-	if err := s.Prefetch(keys); err != nil {
+	if err := s.Prefetch(specs); err != nil {
 		return nil, err
 	}
 	var rows []GangSizeRow
@@ -650,7 +673,7 @@ func (s *Suite) GangSweep(mappings, mitigations []string, trh int) ([]GangSizeRo
 				if err != nil {
 					return nil, err
 				}
-				res, err := s.Run(wl, m, mit, trh, false)
+				res, err := s.Run(RunSpec{Workload: wl, Mapping: m, Mitigation: mit, TRH: trh})
 				if err != nil {
 					return nil, err
 				}
@@ -699,16 +722,16 @@ type RemapStats struct {
 // activations at a 1% remap rate, since half the episodes skip).
 func (s *Suite) RemapRate(gs int) ([]RemapStats, error) {
 	mapName := fmt.Sprintf("rubixd-gs%d", gs)
-	var keys []runKey
+	var specs []RunSpec
 	for _, wl := range s.opts.Workloads {
-		keys = append(keys, runKey{wl, mapName, "none", 128, false})
+		specs = append(specs, RunSpec{Workload: wl, Mapping: mapName, Mitigation: "none", TRH: 128})
 	}
-	if err := s.Prefetch(keys); err != nil {
+	if err := s.Prefetch(specs); err != nil {
 		return nil, err
 	}
 	var rows []RemapStats
 	for _, wl := range s.opts.Workloads {
-		res, err := s.Run(wl, mapName, "none", 128, false)
+		res, err := s.Run(RunSpec{Workload: wl, Mapping: mapName, Mitigation: "none", TRH: 128})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"rubix/internal/geom"
+	"rubix/internal/metrics"
+)
+
+// metricsRun executes a hot configuration (mcf/coffeelake/aqua at a scale
+// that is known to trigger mitigations) with a recorder attached.
+func metricsRun(t *testing.T, cfg metrics.Config) *Result {
+	t.Helper()
+	g := geom.DDR4_16GB()
+	profiles, err := ResolveWorkload("mcf", 4, g, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Geometry:       g,
+		TRH:            128,
+		MappingName:    "coffeelake",
+		MitigationName: "aqua",
+		Workloads:      profiles,
+		InstrPerCore:   50_000_000,
+		Seed:           42,
+		Metrics:        metrics.New(cfg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestMetricsEndToEnd checks the acceptance criterion: a hot run emits
+// non-zero activation, row-hit/miss, tracker, and mitigation counters plus
+// all three phase timings.
+func TestMetricsEndToEnd(t *testing.T) {
+	res := metricsRun(t, metrics.Config{TraceEvents: 64})
+	snap := res.Metrics
+	if snap == nil {
+		t.Fatal("Result.Metrics nil with recorder configured")
+	}
+	for _, name := range []string{
+		"dram_acts_demand", "dram_acts_extra", "dram_row_hits", "dram_row_misses",
+		"memctrl_accesses", "tracker_lookups", "tracker_reports", "mitigation_actions",
+	} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %s is zero on a hot AQUA run", name)
+		}
+	}
+	if snap.Counters["dram_acts_demand"] != res.DRAM.DemandActs {
+		t.Errorf("dram_acts_demand %d != DRAM.DemandActs %d",
+			snap.Counters["dram_acts_demand"], res.DRAM.DemandActs)
+	}
+	if snap.Counters["mitigation_actions"] != res.Mitigations {
+		t.Errorf("mitigation_actions %d != Result.Mitigations %d",
+			snap.Counters["mitigation_actions"], res.Mitigations)
+	}
+	if snap.Gauges["sim_mean_ipc"] != res.MeanIPC {
+		t.Errorf("sim_mean_ipc gauge %v != MeanIPC %v", snap.Gauges["sim_mean_ipc"], res.MeanIPC)
+	}
+	phases := map[string]bool{}
+	for _, p := range snap.Phases {
+		phases[p.Name] = true
+	}
+	for _, want := range []string{"warmup", "simulate", "census"} {
+		if !phases[want] {
+			t.Errorf("phase %q missing from snapshot (have %v)", want, snap.Phases)
+		}
+	}
+	if len(snap.Events) == 0 {
+		t.Error("no events traced with TraceEvents=64")
+	}
+}
+
+// TestMetricsDisabledLeavesResultBare confirms the nil-recorder contract:
+// no Config.Metrics, no Result.Metrics, identical simulation outcome.
+func TestMetricsDisabledLeavesResultBare(t *testing.T) {
+	g := geom.DDR4_16GB()
+	profiles, err := ResolveWorkload("mcf", 4, g, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Geometry: g, TRH: 128, MappingName: "coffeelake", MitigationName: "aqua",
+		Workloads: profiles, InstrPerCore: 50_000_000, Seed: 42,
+	}
+	bare, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Metrics != nil {
+		t.Fatal("Result.Metrics non-nil without a recorder")
+	}
+	instrumented := metricsRun(t, metrics.Config{})
+	if bare.MeanIPC != instrumented.MeanIPC || bare.Mitigations != instrumented.Mitigations {
+		t.Fatalf("instrumentation changed the simulation: IPC %v vs %v, mitigations %d vs %d",
+			bare.MeanIPC, instrumented.MeanIPC, bare.Mitigations, instrumented.Mitigations)
+	}
+}
+
+// TestMetricsJSONDeterministic is the determinism contract for the
+// observability surface itself: two identical runs must produce
+// byte-identical snapshots once the wall-clock phase timings — the one
+// sanctioned nondeterministic field — are stripped.
+func TestMetricsJSONDeterministic(t *testing.T) {
+	take := func() []byte {
+		res := metricsRun(t, metrics.Config{TraceEvents: 128})
+		data, err := res.Metrics.StripTimings().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := take(), take()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical runs produced different metrics JSON:\n%s\n---\n%s", a, b)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(a, &decoded); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+	if _, ok := decoded["counters"]; !ok {
+		t.Fatal("snapshot JSON missing counters")
+	}
+}
+
+// TestRubixDMetricsCounters checks the dynamic-mapping counters flow end to
+// end: a Rubix-D run must report remap episodes and controller swap charges
+// consistent with Result.RemapSwaps.
+func TestRubixDMetricsCounters(t *testing.T) {
+	g := geom.DDR4_16GB()
+	profiles, err := ResolveWorkload("lbm", 4, g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Geometry: g, TRH: 128, MappingName: "rubixd-gs4", MitigationName: "none",
+		Workloads: profiles, InstrPerCore: 2_000_000, Seed: 7,
+		Metrics: metrics.New(metrics.Config{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Metrics
+	if snap.Counters["rubixd_remap_episodes"] == 0 {
+		t.Error("rubixd_remap_episodes is zero on a Rubix-D run")
+	}
+	if snap.Counters["memctrl_remap_swaps"] != res.RemapSwaps {
+		t.Errorf("memctrl_remap_swaps %d != Result.RemapSwaps %d",
+			snap.Counters["memctrl_remap_swaps"], res.RemapSwaps)
+	}
+	if snap.Counters["rubixd_remap_episodes"] != res.RemapSwaps {
+		t.Errorf("rubixd_remap_episodes %d != controller swap charges %d",
+			snap.Counters["rubixd_remap_episodes"], res.RemapSwaps)
+	}
+}

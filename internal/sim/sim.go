@@ -14,6 +14,7 @@ import (
 	"rubix/internal/kcipher"
 	"rubix/internal/mapping"
 	"rubix/internal/memctrl"
+	"rubix/internal/metrics"
 	"rubix/internal/mitigation"
 	"rubix/internal/power"
 	"rubix/internal/workload"
@@ -95,6 +96,10 @@ type Config struct {
 	// LatencyHist collects the per-access memory latency distribution
 	// (Result.DRAM.Latency).
 	LatencyHist bool
+	// Metrics, when non-nil, records run-level counters, gauges, phase
+	// timings, and (if configured) an event trace across the whole stack.
+	// Nil disables observability at zero cost.
+	Metrics *metrics.Recorder
 }
 
 // Result summarizes one simulation run.
@@ -111,6 +116,9 @@ type Result struct {
 	PowerMW     float64
 	// Per-workload names aligned with IPC.
 	WorkloadNames []string
+	// Metrics is the final observability snapshot, nil unless Config.Metrics
+	// was set.
+	Metrics *metrics.Snapshot
 }
 
 // HitRate is a convenience accessor for the run's row-buffer hit rate.
@@ -131,6 +139,9 @@ func Run(cfg Config) (*Result, error) {
 		cfg.Timing = dram.DDR4_2400()
 	}
 
+	rec := cfg.Metrics
+	rec.Phase("warmup")
+
 	mapper := cfg.CustomMapper
 	if mapper == nil {
 		var err error
@@ -145,6 +156,7 @@ func Run(cfg Config) (*Result, error) {
 		TRH:         cfg.TRH,
 		LineCensus:  cfg.LineCensus,
 		LatencyHist: cfg.LatencyHist,
+		Metrics:     rec,
 	})
 	var mit mitigation.Mitigator
 	var err error
@@ -156,6 +168,7 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	metrics.Attach(rec, mapper, mit)
 	lat := cfg.MapLatencyNs
 	if lat == 0 {
 		lat = defaultMapLatency(cfg.MappingName, cfg.Core.FreqGHz)
@@ -163,12 +176,15 @@ func Run(cfg Config) (*Result, error) {
 	ctrl := memctrl.New(memctrl.Config{
 		DRAM: mod, Map: mapper, Mit: mit,
 		MapLatencyNs: lat, WriteFraction: cfg.WriteFraction,
+		Metrics: rec,
 	})
 
 	cores := make([]*cpu.Core, len(cfg.Workloads))
 	for i, p := range cfg.Workloads {
 		cores[i] = cpu.New(i, cfg.Core, p, cfg.InstrPerCore, cfg.Seed+uint64(i)*7919+1)
 	}
+
+	rec.Phase("simulate")
 
 	// Event loop: always advance the earliest core so accesses reach the
 	// controller in (approximately) global time order.
@@ -188,6 +204,7 @@ func Run(cfg Config) (*Result, error) {
 		next.Step(ctrl.Access)
 	}
 
+	rec.Phase("census")
 	stats := mod.Finalize()
 	res := &Result{
 		Mapping:     mapper.Name(),
@@ -208,6 +225,17 @@ func Run(cfg Config) (*Result, error) {
 	res.MeanIPC /= float64(len(cores))
 	res.PowerMW = power.DDR4DIMM16GB().Estimate(stats, res.ElapsedNs)
 	res.Config = fmt.Sprintf("%s/%s/TRH=%d", res.Mapping, res.Mitigation, cfg.TRH)
+	if rec != nil {
+		rec.Gauge("sim_elapsed_ns").Set(res.ElapsedNs)
+		rec.Gauge("sim_mean_ipc").Set(res.MeanIPC)
+		for i, ipc := range res.IPC {
+			rec.Gauge(fmt.Sprintf("sim_ipc_core%d", i)).Set(ipc)
+		}
+		if stats.Latency != nil {
+			rec.Hist("dram_latency_ns").Merge(stats.Latency)
+		}
+		res.Metrics = rec.Snapshot()
+	}
 	return res, nil
 }
 
@@ -241,9 +269,28 @@ func coreBase(g geom.Geometry, coreID, cores int) uint64 {
 	return uint64(coreID)*slice + jitterPages*64
 }
 
-// RateProfiles builds n copies of the named SPEC workload (SPEC "rate"
+// ResolveWorkload resolves a workload spec string into one profile per
+// core. A spec is either a SPEC workload name run in "rate" mode on every
+// core ("mcf"), a multiprogrammed mix ("mix1".."mix16", one distinct SPEC
+// workload per core), or a STREAM kernel ("stream-copy", "stream-scale",
+// "stream-add", "stream-triad"). This is the single entry point for
+// workload resolution; the per-family builders below are internal.
+func ResolveWorkload(spec string, cores int, g geom.Geometry, seed uint64) ([]workload.Profile, error) {
+	var mix int
+	if n, err := fmt.Sscanf(spec, "mix%d", &mix); n == 1 && err == nil {
+		return mixProfiles(mix, g, seed)
+	}
+	for k := workload.StreamCopy; k <= workload.StreamTriad; k++ {
+		if spec == "stream-"+k.String() {
+			return streamProfiles(k, cores, g, seed)
+		}
+	}
+	return rateProfiles(spec, cores, g, seed)
+}
+
+// rateProfiles builds n copies of the named SPEC workload (SPEC "rate"
 // mode), one per core, with disjoint footprints and decorrelated seeds.
-func RateProfiles(name string, n int, g geom.Geometry, seed uint64) ([]workload.Profile, error) {
+func rateProfiles(name string, n int, g geom.Geometry, seed uint64) ([]workload.Profile, error) {
 	p, err := workload.SpecByName(name)
 	if err != nil {
 		return nil, err
@@ -259,9 +306,9 @@ func RateProfiles(name string, n int, g geom.Geometry, seed uint64) ([]workload.
 	return out, nil
 }
 
-// MixProfiles builds the paper's mixN workload (1-based index into
+// mixProfiles builds the paper's mixN workload (1-based index into
 // workload.MixTable), one distinct SPEC workload per core.
-func MixProfiles(mix int, g geom.Geometry, seed uint64) ([]workload.Profile, error) {
+func mixProfiles(mix int, g geom.Geometry, seed uint64) ([]workload.Profile, error) {
 	table := workload.MixTable()
 	if mix < 1 || mix > len(table) {
 		return nil, fmt.Errorf("sim: mix index %d out of range 1..%d", mix, len(table))
@@ -282,24 +329,9 @@ func MixProfiles(mix int, g geom.Geometry, seed uint64) ([]workload.Profile, err
 	return out, nil
 }
 
-// ProfilesFor resolves a workload name that is either a SPEC workload, a
-// mix ("mix1".."mix16"), or a STREAM kernel ("stream-copy" etc.).
-func ProfilesFor(name string, cores int, g geom.Geometry, seed uint64) ([]workload.Profile, error) {
-	var mix int
-	if n, err := fmt.Sscanf(name, "mix%d", &mix); n == 1 && err == nil {
-		return MixProfiles(mix, g, seed)
-	}
-	for k := workload.StreamCopy; k <= workload.StreamTriad; k++ {
-		if name == "stream-"+k.String() {
-			return StreamProfiles(k, cores, g, seed)
-		}
-	}
-	return RateProfiles(name, cores, g, seed)
-}
-
-// StreamProfiles builds n copies of a STREAM kernel with 1 GiB arrays
+// streamProfiles builds n copies of a STREAM kernel with 1 GiB arrays
 // (§5.13), one per core.
-func StreamProfiles(k workload.StreamKernel, n int, g geom.Geometry, seed uint64) ([]workload.Profile, error) {
+func streamProfiles(k workload.StreamKernel, n int, g geom.Geometry, seed uint64) ([]workload.Profile, error) {
 	arrayBytes := uint64(1) << 30
 	// Three arrays of 1 GiB per core must fit in the per-core slice of the
 	// address space; shrink proportionally on small geometries.

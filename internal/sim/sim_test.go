@@ -10,7 +10,7 @@ import (
 func runN(t *testing.T, wl, mapName, mitName string, trh int, instr uint64) *Result {
 	t.Helper()
 	g := geom.DDR4_16GB()
-	profiles, err := ProfilesFor(wl, 4, g, 42)
+	profiles, err := ResolveWorkload(wl, 4, g, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestRunValidation(t *testing.T) {
 		t.Fatal("empty config accepted")
 	}
 	g := geom.DDR4_16GB()
-	profiles, _ := ProfilesFor("gcc", 4, g, 1)
+	profiles, _ := ResolveWorkload("gcc", 4, g, 1)
 	if _, err := Run(Config{Geometry: g, MappingName: "bogus", MitigationName: "none", Workloads: profiles}); err == nil {
 		t.Fatal("bad mapping accepted")
 	}
@@ -179,25 +179,25 @@ func TestRubixDRemapsDuringRun(t *testing.T) {
 	}
 }
 
-func TestProfilesForVariants(t *testing.T) {
+func TestResolveWorkloadVariants(t *testing.T) {
 	g := geom.DDR4_16GB()
-	if p, err := ProfilesFor("mix3", 4, g, 1); err != nil || len(p) != 4 {
+	if p, err := ResolveWorkload("mix3", 4, g, 1); err != nil || len(p) != 4 {
 		t.Fatalf("mix3: %v (%d profiles)", err, len(p))
 	}
-	if p, err := ProfilesFor("stream-triad", 4, g, 1); err != nil || len(p) != 4 {
+	if p, err := ResolveWorkload("stream-triad", 4, g, 1); err != nil || len(p) != 4 {
 		t.Fatalf("stream-triad: %v", err)
 	}
-	if _, err := ProfilesFor("mix99", 4, g, 1); err == nil {
+	if _, err := ResolveWorkload("mix99", 4, g, 1); err == nil {
 		t.Fatal("mix99 accepted")
 	}
-	if _, err := ProfilesFor("nosuchworkload", 4, g, 1); err == nil {
+	if _, err := ResolveWorkload("nosuchworkload", 4, g, 1); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
 }
 
 func TestRateProfilesDisjointFootprints(t *testing.T) {
 	g := geom.DDR4_16GB()
-	profiles, err := RateProfiles("gcc", 4, g, 1)
+	profiles, err := rateProfiles("gcc", 4, g, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +214,7 @@ func TestRateProfilesDisjointFootprints(t *testing.T) {
 
 func TestMultiChannelRun(t *testing.T) {
 	g := geom.DDR4_32GB4Ch()
-	profiles, err := RateProfiles("gcc", 8, g, 7)
+	profiles, err := rateProfiles("gcc", 8, g, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,11 +252,11 @@ func TestBestGS(t *testing.T) {
 
 func TestSuiteCachesRuns(t *testing.T) {
 	s := NewSuite(Options{Scale: 0.004, Workloads: []string{"xz"}, Mixes: []int{}})
-	r1, err := s.Run("xz", "coffeelake", "none", 128, false)
+	r1, err := s.Run(RunSpec{Workload: "xz", Mapping: "coffeelake", Mitigation: "none", TRH: 128})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := s.Run("xz", "coffeelake", "none", 128, false)
+	r2, err := s.Run(RunSpec{Workload: "xz", Mapping: "coffeelake", Mitigation: "none", TRH: 128})
 	if err != nil {
 		t.Fatal(err)
 	}

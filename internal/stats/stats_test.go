@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -62,6 +63,118 @@ func TestHistogramMerge(t *testing.T) {
 	if a.Count() != 2 || a.Max() != 1000 {
 		t.Fatalf("merge lost samples: n=%d max=%v", a.Count(), a.Max())
 	}
+}
+
+func TestHistogramPercentileEdgeCases(t *testing.T) {
+	single := func() *Histogram {
+		var h Histogram
+		h.Add(100)
+		return &h
+	}
+	uniform := func() *Histogram {
+		var h Histogram
+		for i := 0; i < 1000; i++ {
+			h.Add(float64(i))
+		}
+		return &h
+	}
+	cases := []struct {
+		name string
+		h    *Histogram
+		p    float64
+		want func(v float64) bool
+	}{
+		{"empty p0", &Histogram{}, 0, func(v float64) bool { return v == 0 }},
+		{"empty p50", &Histogram{}, 50, func(v float64) bool { return v == 0 }},
+		{"empty p100", &Histogram{}, 100, func(v float64) bool { return v == 0 }},
+		// One sample of 100 lands in bucket [64, 128): every percentile
+		// reports that bucket's upper bound.
+		{"single p0", single(), 0, func(v float64) bool { return v == 128 }},
+		{"single p50", single(), 50, func(v float64) bool { return v == 128 }},
+		{"single p100", single(), 100, func(v float64) bool { return v == 128 }},
+		// p0 means "the first sample": the smallest bucket's bound, never 0.
+		{"uniform p0", uniform(), 0, func(v float64) bool { return v == 1 }},
+		{"uniform p100", uniform(), 100, func(v float64) bool { return v >= 999 && v <= 2048 }},
+		// Out-of-range p clamps instead of panicking or extrapolating.
+		{"p below range", uniform(), -10, func(v float64) bool { return v == 1 }},
+		{"p above range", uniform(), 250, func(v float64) bool { return v >= 999 && v <= 2048 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if v := tc.h.Percentile(tc.p); !tc.want(v) {
+				t.Fatalf("Percentile(%v) = %v", tc.p, v)
+			}
+		})
+	}
+}
+
+func TestHistogramMergeEdgeCases(t *testing.T) {
+	low := func() *Histogram { // 100 samples in [0, 1)
+		var h Histogram
+		for i := 0; i < 100; i++ {
+			h.Add(0.5)
+		}
+		return &h
+	}
+	high := func() *Histogram { // 100 samples around 1e6
+		var h Histogram
+		for i := 0; i < 100; i++ {
+			h.Add(1e6)
+		}
+		return &h
+	}
+	t.Run("both empty", func(t *testing.T) {
+		var a, b Histogram
+		a.Merge(&b)
+		if a.Count() != 0 || a.Mean() != 0 || a.Percentile(50) != 0 {
+			t.Fatalf("empty merge dirtied the receiver: %s", a.String())
+		}
+	})
+	t.Run("empty into populated", func(t *testing.T) {
+		a, before := low(), low().String()
+		var b Histogram
+		a.Merge(&b)
+		if a.String() != before {
+			t.Fatalf("merging empty changed stats: %s -> %s", before, a.String())
+		}
+	})
+	t.Run("populated into empty", func(t *testing.T) {
+		var a Histogram
+		a.Merge(high())
+		if a.Count() != 100 || a.Max() != 1e6 {
+			t.Fatalf("adopt failed: %s", a.String())
+		}
+	})
+	t.Run("disjoint ranges", func(t *testing.T) {
+		a := low()
+		a.Merge(high())
+		if a.Count() != 200 {
+			t.Fatalf("count = %d, want 200", a.Count())
+		}
+		if got, want := a.Mean(), (100*0.5+100*1e6)/200; math.Abs(got-want) > 1e-6 {
+			t.Fatalf("mean = %v, want %v", got, want)
+		}
+		// Half the mass is below 1, half near 1e6: p25 must come from the
+		// low bucket, p75 from the high one.
+		if p := a.Percentile(25); p != 1 {
+			t.Fatalf("p25 = %v, want 1", p)
+		}
+		if p := a.Percentile(75); p < 1e6 || p > 2<<20 {
+			t.Fatalf("p75 = %v, want ~1e6", p)
+		}
+		if a.Max() != 1e6 {
+			t.Fatalf("max = %v", a.Max())
+		}
+	})
+	t.Run("merge is commutative", func(t *testing.T) {
+		a, b := low(), high()
+		b2, a2 := low(), high()
+		a.Merge(b)
+		a2.Merge(b2)
+		if a.String() != a2.String() {
+			t.Fatalf("order changed stats: %s vs %s", a.String(), a2.String())
+		}
+	})
 }
 
 func TestHistogramRenders(t *testing.T) {

@@ -7,7 +7,10 @@
 
 package tracker
 
-import "rubix/internal/rng"
+import (
+	"rubix/internal/metrics"
+	"rubix/internal/rng"
+)
 
 // CBF is a counting Bloom filter over row addresses. Like any Bloom
 // structure it never under-counts a row (no false negatives — the security
@@ -19,6 +22,9 @@ type CBF struct {
 	mask      uint64
 	seeds     []uint64
 	reports   uint64
+
+	mLookups *metrics.Counter
+	mReports *metrics.Counter
 }
 
 // CBFConfig configures NewCBF.
@@ -64,6 +70,12 @@ func NewCBF(cfg CBFConfig) *CBF {
 // Name implements Tracker.
 func (c *CBF) Name() string { return "CountingBloomFilter" }
 
+// SetMetrics implements metrics.Settable.
+func (c *CBF) SetMetrics(r *metrics.Recorder) {
+	c.mLookups = r.Counter("tracker_lookups")
+	c.mReports = r.Counter("tracker_reports")
+}
+
 // Estimate returns the filter's activation estimate for a row: the minimum
 // over its hash positions — an upper bound on the true count.
 func (c *CBF) Estimate(row uint64) uint32 {
@@ -82,6 +94,7 @@ func (c *CBF) Estimate(row uint64) uint32 {
 // down to zero, which may under-reset colliding rows — conservative in the
 // safe direction (they will be reported sooner, never later).
 func (c *CBF) RecordACT(row uint64) bool {
+	c.mLookups.Inc()
 	min := uint32(1<<31 - 1)
 	for _, s := range c.seeds {
 		idx := rng.Mix64(row^s) & c.mask
@@ -95,6 +108,7 @@ func (c *CBF) RecordACT(row uint64) bool {
 			c.counters[rng.Mix64(row^s)&c.mask] = 0
 		}
 		c.reports++
+		c.mReports.Inc()
 		return true
 	}
 	return false

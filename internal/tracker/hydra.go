@@ -18,6 +18,8 @@
 
 package tracker
 
+import "rubix/internal/metrics"
+
 // Hydra is the hybrid group/row activation tracker.
 type Hydra struct {
 	rowThreshold   uint32
@@ -26,6 +28,9 @@ type Hydra struct {
 	groups         map[uint64]uint32
 	rows           map[uint64]uint32
 	reports        uint64
+
+	mLookups *metrics.Counter
+	mReports *metrics.Counter
 }
 
 // HydraConfig configures NewHydra.
@@ -75,6 +80,12 @@ func NewHydra(cfg HydraConfig) *Hydra {
 // Name implements Tracker.
 func (h *Hydra) Name() string { return "Hydra" }
 
+// SetMetrics implements metrics.Settable.
+func (h *Hydra) SetMetrics(r *metrics.Recorder) {
+	h.mLookups = r.Counter("tracker_lookups")
+	h.mReports = r.Counter("tracker_reports")
+}
+
 // RecordACT implements Tracker.
 //
 // While a group is cold, its counter aggregates the whole group's
@@ -84,6 +95,7 @@ func (h *Hydra) Name() string { return "Hydra" }
 // an exact per-row counter seeded with the group count (an upper bound on
 // the row's own activations so far).
 func (h *Hydra) RecordACT(row uint64) bool {
+	h.mLookups.Inc()
 	group := row >> h.groupShift
 	if gc, warm := h.groups[group]; !warm || gc < h.groupThreshold {
 		gc++
@@ -95,6 +107,7 @@ func (h *Hydra) RecordACT(row uint64) bool {
 			// groupThreshold is configured at 1.0.)
 			delete(h.groups, group)
 			h.reports++
+			h.mReports.Inc()
 			return true
 		}
 		return false
@@ -112,6 +125,7 @@ func (h *Hydra) RecordACT(row uint64) bool {
 	if rc >= h.rowThreshold {
 		h.rows[row] = 0
 		h.reports++
+		h.mReports.Inc()
 		return true
 	}
 	h.rows[row] = rc

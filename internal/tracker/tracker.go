@@ -17,6 +17,8 @@
 // (64 ms), which is why mitigations use a tracker threshold of T_RH/2.
 package tracker
 
+import "rubix/internal/metrics"
+
 // Tracker watches row activations and reports rows reaching a threshold.
 type Tracker interface {
 	// Name identifies the tracker in reports.
@@ -51,6 +53,10 @@ type MisraGries struct {
 	floor     uint32
 	counts    map[uint64]uint32 // stored as true count; entry live iff count > floor
 	reports   uint64
+
+	mLookups   *metrics.Counter
+	mReports   *metrics.Counter
+	mEvictions *metrics.Counter
 }
 
 // NewMisraGries builds a tracker that reports a row when it accumulates
@@ -73,14 +79,25 @@ func NewMisraGries(threshold int, capacity int) *MisraGries {
 // Name implements Tracker.
 func (t *MisraGries) Name() string { return "Misra-Gries" }
 
+// SetMetrics implements metrics.Settable: tracker_lookups counts RecordACT
+// calls, tracker_reports threshold reports, tracker_evictions the entries
+// dropped by the decrement-all step.
+func (t *MisraGries) SetMetrics(r *metrics.Recorder) {
+	t.mLookups = r.Counter("tracker_lookups")
+	t.mReports = r.Counter("tracker_reports")
+	t.mEvictions = r.Counter("tracker_evictions")
+}
+
 // RecordACT implements Tracker.
 func (t *MisraGries) RecordACT(row uint64) bool {
+	t.mLookups.Inc()
 	if c, ok := t.counts[row]; ok {
 		c++
 		if c-t.floor >= t.threshold {
 			// Report and reset: the mitigation acts on this row now.
 			delete(t.counts, row)
 			t.reports++
+			t.mReports.Inc()
 			return true
 		}
 		t.counts[row] = c
@@ -91,6 +108,7 @@ func (t *MisraGries) RecordACT(row uint64) bool {
 		if 1 >= t.threshold {
 			delete(t.counts, row)
 			t.reports++
+			t.mReports.Inc()
 			return true
 		}
 		return false
@@ -102,6 +120,7 @@ func (t *MisraGries) RecordACT(row uint64) bool {
 	for r, c := range t.counts {
 		if c <= t.floor {
 			delete(t.counts, r)
+			t.mEvictions.Inc()
 		}
 	}
 	return false
@@ -130,6 +149,9 @@ type PerRow struct {
 	stamped   []uint32 // epoch of last update per row
 	counts    []uint32
 	reports   uint64
+
+	mLookups *metrics.Counter
+	mReports *metrics.Counter
 }
 
 // NewPerRow builds an exact tracker over totalRows rows reporting at
@@ -149,8 +171,15 @@ func NewPerRow(threshold int, totalRows uint64) *PerRow {
 // Name implements Tracker.
 func (t *PerRow) Name() string { return "PerRowCounter" }
 
+// SetMetrics implements metrics.Settable.
+func (t *PerRow) SetMetrics(r *metrics.Recorder) {
+	t.mLookups = r.Counter("tracker_lookups")
+	t.mReports = r.Counter("tracker_reports")
+}
+
 // RecordACT implements Tracker.
 func (t *PerRow) RecordACT(row uint64) bool {
+	t.mLookups.Inc()
 	if t.stamped[row] != t.epoch {
 		t.stamped[row] = t.epoch
 		t.counts[row] = 0
@@ -159,6 +188,7 @@ func (t *PerRow) RecordACT(row uint64) bool {
 	if t.counts[row] >= t.threshold {
 		t.counts[row] = 0
 		t.reports++
+		t.mReports.Inc()
 		return true
 	}
 	return false

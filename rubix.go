@@ -41,6 +41,7 @@ import (
 	"rubix/internal/geom"
 	"rubix/internal/kcipher"
 	"rubix/internal/mapping"
+	"rubix/internal/metrics"
 	"rubix/internal/sim"
 	"rubix/internal/trace"
 	"rubix/internal/workload"
@@ -62,6 +63,17 @@ type (
 	Options = sim.Options
 	// Suite caches runs and regenerates the paper's tables and figures.
 	Suite = sim.Suite
+	// RunSpec names one Suite configuration (workload, mapping, mitigation,
+	// threshold, census); pass it to Suite.Run or Suite.Prefetch.
+	RunSpec = sim.RunSpec
+	// Recorder collects run-level counters, gauges, phase timings, and an
+	// optional event trace; set Config.Metrics to enable.
+	Recorder = metrics.Recorder
+	// MetricsConfig parameterizes NewRecorder.
+	MetricsConfig = metrics.Config
+	// MetricsSnapshot is the immutable export of a Recorder
+	// (Result.Metrics), with deterministic JSON and text renderings.
+	MetricsSnapshot = metrics.Snapshot
 	// Profile couples a workload generator with its core-model parameters.
 	Profile = workload.Profile
 	// Mapper is the line-to-row mapping interface.
@@ -115,12 +127,24 @@ func NewRubixD(g Geometry, cfg RubixDConfig) (*RubixD, error) {
 // KeyFromSeed derives a Rubix-S cipher key from a boot-time seed.
 func KeyFromSeed(seed uint64) CipherKey { return kcipher.KeyFromSeed(seed) }
 
-// Profiles resolves a workload name — a SPEC2017 stand-in ("gcc", "lbm",
-// ...), a four-way mix ("mix1".."mix16"), or a STREAM kernel
+// NewRecorder builds a metrics recorder; set it as Config.Metrics to
+// collect run-level observability (Result.Metrics).
+func NewRecorder(cfg MetricsConfig) *Recorder { return metrics.New(cfg) }
+
+// ResolveWorkload resolves a workload spec — a SPEC2017 stand-in ("gcc",
+// "lbm", ...), a four-way mix ("mix1".."mix16"), or a STREAM kernel
 // ("stream-copy", "stream-scale", "stream-add", "stream-triad") — into one
 // generator per core.
+func ResolveWorkload(spec string, cores int, g Geometry, seed uint64) ([]Profile, error) {
+	return sim.ResolveWorkload(spec, cores, g, seed)
+}
+
+// Profiles resolves a workload name into one generator per core.
+//
+// Deprecated: use ResolveWorkload, the single resolver for all workload
+// families. Profiles remains as a thin wrapper for existing callers.
 func Profiles(name string, cores int, g Geometry, seed uint64) ([]Profile, error) {
-	return sim.ProfilesFor(name, cores, g, seed)
+	return sim.ResolveWorkload(name, cores, g, seed)
 }
 
 // SpecWorkloads lists the 18 calibrated SPEC CPU2017 stand-ins (Table 2).
