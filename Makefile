@@ -1,6 +1,6 @@
 # Convenience targets mirroring the CI jobs (.github/workflows/ci.yml).
 
-.PHONY: all build test race lint ci profile
+.PHONY: all build test race lint ci profile bench
 
 all: build test
 
@@ -13,13 +13,21 @@ test:
 race:
 	go test -race ./...
 
-# The full local gate: vet plus the project invariants suite
-# (determinism, bitwidth, seedflow, panicpolicy — see internal/lint).
+# The full local gate: vet plus the project invariants suite (determinism,
+# bitwidth, seedflow, panicpolicy, observereffect, addrwidth, errdiscard —
+# see internal/lint). rubixlint -fix applies the suite's suggested fixes.
 lint:
 	go vet ./...
 	go run ./cmd/rubixlint ./...
 
 ci: build test race lint
+
+# Refresh the committed benchmark baseline for the sim hot path
+# (mapping/cipher/DRAM/core micro-benchmarks plus the end-to-end run).
+# The JSON is a reference point for eyeballing regressions, not a CI gate —
+# absolute numbers depend on the machine.
+bench:
+	go test -bench . -benchmem -run '^$$' ./... | go run ./cmd/benchjson > BENCH_sim.json
 
 # Profile a mid-size hot configuration: CPU profile and metrics snapshot
 # land in results/, and a live pprof + /metrics endpoint serves on :6060

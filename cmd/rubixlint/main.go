@@ -1,20 +1,35 @@
-// Command rubixlint runs the project's static-analysis suite (determinism,
-// bitwidth, seedflow, panicpolicy — see internal/lint) over the module.
+// Command rubixlint runs the project's static-analysis suite (see
+// internal/lint: determinism, bitwidth, seedflow, panicpolicy, plus the
+// interprocedural observereffect, addrwidth, and errdiscard analyzers) over
+// the module.
 //
 // Usage:
 //
 //	go run ./cmd/rubixlint ./...
-//	go run ./cmd/rubixlint ./internal/dram ./internal/sim
+//	go run ./cmd/rubixlint -fix ./internal/dram ./internal/sim
+//	go run ./cmd/rubixlint -sarif ./... > lint.sarif
 //
-// With no arguments (or "./...") the whole module is checked. Findings
-// print in the compiler's file:line:col format; the exit status is 1 when
-// any finding survives the //lint:allow annotations, so the command can
-// gate CI.
+// With no arguments (or "./...") the whole module is checked. The whole
+// module is always *loaded* — the interprocedural analyzers need the full
+// value-flow graph — and patterns only narrow which packages findings are
+// reported for.
+//
+// Flags:
+//
+//	-fix    apply the first suggested fix of every finding in place
+//	-json   emit findings as a JSON array instead of text
+//	-sarif  emit findings as minimal SARIF 2.1.0 instead of text
+//
+// Exit status: 0 when clean, 1 when findings survive the //lint:allow
+// annotations (or -fix left unfixable findings), 2 on load or internal
+// errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -23,62 +38,113 @@ import (
 )
 
 func main() {
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: rubixlint [packages]\n\n%s\n\nAnalyzers:\n", "Runs the project invariants suite over the module.")
-		for _, a := range lint.All() {
-			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
-		}
-	}
-	flag.Parse()
-	if err := run(flag.Args()); err != nil {
-		fmt.Fprintln(os.Stderr, "rubixlint:", err)
-		os.Exit(2)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(patterns []string) error {
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rubixlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fix := fs.Bool("fix", false, "apply the first suggested fix of every finding in place")
+	asJSON := fs.Bool("json", false, "emit findings as JSON")
+	asSARIF := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: rubixlint [-fix] [-json|-sarif] [packages]\n\nRuns the project invariants suite over the module.\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *asJSON && *asSARIF {
+		fmt.Fprintln(stderr, "rubixlint: -json and -sarif are mutually exclusive")
+		return 2
+	}
+
 	root, modulePath, err := lint.FindModule(".")
 	if err != nil {
-		return err
+		fmt.Fprintln(stderr, "rubixlint:", err)
+		return 2
 	}
 	pkgs, err := lint.NewLoader(root, modulePath).LoadAll()
 	if err != nil {
-		return err
+		fmt.Fprintln(stderr, "rubixlint:", err)
+		return 2
 	}
-	pkgs, err = filterPackages(pkgs, patterns, root, modulePath)
+	scope, err := patternScope(pkgs, fs.Args(), root, modulePath)
 	if err != nil {
-		return err
+		fmt.Fprintln(stderr, "rubixlint:", err)
+		return 2
 	}
-	diags, err := lint.Run(pkgs, lint.All(), lint.DefaultScope(modulePath))
+	diags, err := lint.Run(pkgs, lint.All(), scope)
 	if err != nil {
-		return err
+		fmt.Fprintln(stderr, "rubixlint:", err)
+		return 2
 	}
-	for _, d := range diags {
-		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
-			d.Pos.Filename = rel
+
+	if *fix {
+		fset := pkgs[0].Fset
+		contents, applied, unfixed, err := lint.ApplyFixes(fset, diags)
+		if err != nil {
+			fmt.Fprintln(stderr, "rubixlint:", err)
+			return 2
 		}
-		fmt.Println(d)
+		for file, data := range contents { // key extraction not needed: write each
+			if err := os.WriteFile(file, data, 0o644); err != nil {
+				fmt.Fprintln(stderr, "rubixlint:", err)
+				return 2
+			}
+		}
+		if applied > 0 {
+			fmt.Fprintf(stderr, "rubixlint: applied %d fix(es)\n", applied)
+		}
+		diags = unfixed
+	}
+
+	switch {
+	case *asJSON:
+		if err := writeJSON(stdout, root, diags); err != nil {
+			fmt.Fprintln(stderr, "rubixlint:", err)
+			return 2
+		}
+	case *asSARIF:
+		if err := writeSARIF(stdout, root, diags); err != nil {
+			fmt.Fprintln(stderr, "rubixlint:", err)
+			return 2
+		}
+	default:
+		for _, d := range diags {
+			if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+				d.Pos.Filename = rel
+			}
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "rubixlint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "rubixlint: %d finding(s)\n", len(diags))
+		return 1
 	}
-	return nil
+	return 0
 }
 
-// filterPackages narrows the loaded set to the requested patterns. The
-// whole module is always loaded first — project imports must resolve — so
-// patterns only select what gets reported on.
-func filterPackages(pkgs []*lint.Package, patterns []string, root, modulePath string) ([]*lint.Package, error) {
+// patternScope composes the repository scope policy with the requested
+// package patterns. The whole module stays loaded — the value-flow graph
+// spans it — and patterns only narrow which packages findings are reported
+// for.
+func patternScope(pkgs []*lint.Package, patterns []string, root, modulePath string) (lint.Scope, error) {
+	base := lint.DefaultScope(modulePath)
 	if len(patterns) == 0 {
-		return pkgs, nil
+		return base, nil
 	}
-	var out []*lint.Package
-	seen := make(map[string]bool)
+	selected := make(map[string]bool)
+	all := false
 	for _, pat := range patterns {
 		prefix, recursive := strings.CutSuffix(pat, "/...")
 		if prefix == "." || prefix == "./" || pat == "./..." {
-			return pkgs, nil
+			all = true
+			continue
 		}
 		abs, err := filepath.Abs(strings.TrimSuffix(prefix, "/"))
 		if err != nil {
@@ -96,15 +162,139 @@ func filterPackages(pkgs []*lint.Package, patterns []string, root, modulePath st
 		for _, p := range pkgs {
 			if p.Path == want || (recursive && strings.HasPrefix(p.Path, want+"/")) {
 				matched = true
-				if !seen[p.Path] {
-					seen[p.Path] = true
-					out = append(out, p)
-				}
+				selected[p.Path] = true
 			}
 		}
 		if !matched {
 			return nil, fmt.Errorf("pattern %q matched no packages", pat)
 		}
 	}
-	return out, nil
+	if all {
+		return base, nil
+	}
+	return func(a *lint.Analyzer, pkgPath string) bool {
+		return selected[pkgPath] && base(a, pkgPath)
+	}, nil
+}
+
+// jsonDiagnostic is the -json output shape.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Fixable  bool   `json:"fixable"`
+}
+
+func writeJSON(w io.Writer, root string, diags []lint.Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil {
+			file = filepath.ToSlash(rel)
+		}
+		out = append(out, jsonDiagnostic{
+			File:     file,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+			Fixable:  len(d.Fixes) > 0,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SARIF 2.1.0 minimal shapes — just enough for code-scanning upload.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+func writeSARIF(w io.Writer, root string, diags []lint.Diagnostic) error {
+	var rules []sarifRule
+	for _, a := range lint.All() {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil {
+			file = filepath.ToSlash(rel)
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: file},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "rubixlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
 }

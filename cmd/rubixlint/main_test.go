@@ -1,0 +1,214 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module and chdirs into it, so run()
+// resolves it via FindModule.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	for name, content := range files { // key extraction not needed: write each
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chdir(t, dir)
+	return dir
+}
+
+// chdir is t.Chdir without the go1.24 floor the rest of the module avoids.
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+const libSrc = `// Package lib is a fixture.
+package lib
+
+import "errors"
+
+// New may fail.
+func New(n int) (int, error) {
+	if n <= 0 {
+		return 0, errors.New("lib: n must be positive")
+	}
+	return n, nil
+}
+`
+
+// TestExitCodeClean pins exit 0 on a module without findings.
+func TestExitCodeClean(t *testing.T) {
+	writeModule(t, map[string]string{
+		"lib/lib.go": libSrc,
+		"use/use.go": `// Package use is a fixture.
+package use
+
+import "tmpmod/lib"
+
+// Get propagates.
+func Get() (int, error) {
+	return lib.New(1)
+}
+`,
+	})
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+}
+
+const discardSrc = `// Package use is a fixture.
+package use
+
+import "tmpmod/lib"
+
+// Get drops the error.
+func Get() (int, error) {
+	v, _ := lib.New(1)
+	return v, nil
+}
+`
+
+// TestExitCodeFindings pins exit 1 when findings survive.
+func TestExitCodeFindings(t *testing.T) {
+	writeModule(t, map[string]string{
+		"lib/lib.go": libSrc,
+		"use/use.go": discardSrc,
+	})
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "errdiscard") {
+		t.Errorf("stdout missing errdiscard finding:\n%s", out.String())
+	}
+}
+
+// TestExitCodeLoadError pins exit 2 on unparsable source.
+func TestExitCodeLoadError(t *testing.T) {
+	writeModule(t, map[string]string{
+		"lib/lib.go": "package lib\n\nfunc Broken( {\n",
+	})
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+}
+
+// TestFixIdempotent pins the -fix contract: the first run repairs the tree,
+// the second finds nothing and changes nothing.
+func TestFixIdempotent(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"lib/lib.go": libSrc,
+		"use/use.go": discardSrc,
+	})
+	var out, errb bytes.Buffer
+	code := run([]string{"-fix"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("first -fix run: exit = %d, want 0 (all findings fixable)\nstdout: %s\nstderr: %s",
+			code, out.String(), errb.String())
+	}
+	fixed, err := os.ReadFile(filepath.Join(dir, "use/use.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), "v, err := lib.New(1)") ||
+		!strings.Contains(string(fixed), "return 0, err") {
+		t.Fatalf("fix not applied as expected:\n%s", fixed)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-fix"}, &out, &errb); code != 0 {
+		t.Fatalf("second -fix run: exit = %d, want 0\nstderr: %s", code, errb.String())
+	}
+	again, err := os.ReadFile(filepath.Join(dir, "use/use.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fixed, again) {
+		t.Errorf("-fix is not idempotent:\nfirst:\n%s\nsecond:\n%s", fixed, again)
+	}
+}
+
+// TestJSONOutput pins the -json shape.
+func TestJSONOutput(t *testing.T) {
+	writeModule(t, map[string]string{
+		"lib/lib.go": libSrc,
+		"use/use.go": discardSrc,
+	})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json"}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	var diags []jsonDiagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "errdiscard" || !diags[0].Fixable {
+		t.Errorf("unexpected -json payload: %+v", diags)
+	}
+	if diags[0].File != "use/use.go" {
+		t.Errorf("file = %q, want module-relative use/use.go", diags[0].File)
+	}
+}
+
+// TestSARIFOutput pins the -sarif envelope.
+func TestSARIFOutput(t *testing.T) {
+	writeModule(t, map[string]string{
+		"lib/lib.go": libSrc,
+		"use/use.go": discardSrc,
+	})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-sarif"}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	var log sarifLog
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("-sarif output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected SARIF envelope: version %q, %d runs", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "rubixlint" || len(run.Results) != 1 {
+		t.Fatalf("unexpected SARIF run: driver %q, %d results", run.Tool.Driver.Name, len(run.Results))
+	}
+	if got := run.Results[0].RuleID; got != "errdiscard" {
+		t.Errorf("ruleId = %q, want errdiscard", got)
+	}
+	if len(run.Tool.Driver.Rules) == 0 {
+		t.Error("SARIF rules table is empty")
+	}
+}
+
+// TestFlagConflict pins exit 2 on -json -sarif together.
+func TestFlagConflict(t *testing.T) {
+	writeModule(t, map[string]string{"lib/lib.go": libSrc})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "-sarif"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

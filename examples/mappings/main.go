@@ -45,7 +45,7 @@ func main() {
 
 	var baseIPC float64
 	for i, m := range mappings {
-		profiles, err := rubix.Profiles(wl, 4, g, 42)
+		profiles, err := rubix.ResolveWorkload(wl, 4, g, 42)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -17,7 +17,7 @@ func main() {
 	fmt.Printf("System: %s, T_RH = 128, workload: 4x mcf (rate mode)\n\n", g)
 
 	run := func(mapping string) *rubix.Result {
-		profiles, err := rubix.Profiles("mcf", 4, g, 42)
+		profiles, err := rubix.ResolveWorkload("mcf", 4, g, 42)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -37,7 +37,10 @@ func main() {
 	}
 
 	baselineUnprotected := func() *rubix.Result {
-		profiles, _ := rubix.Profiles("mcf", 4, g, 42)
+		profiles, err := rubix.ResolveWorkload("mcf", 4, g, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
 		res, err := rubix.Run(rubix.Config{
 			Geometry:       g,
 			TRH:            128,

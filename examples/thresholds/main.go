@@ -24,7 +24,7 @@ func main() {
 	const instr = 40_000_000
 
 	run := func(mapName, mit string, trh int) *rubix.Result {
-		profiles, err := rubix.Profiles(wl, 4, g, 42)
+		profiles, err := rubix.ResolveWorkload(wl, 4, g, 42)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"rubix/internal/geom"
+	"rubix/internal/kcipher"
+)
+
+// propertyGeometry builds a geometry with exactly the requested line-address
+// width: 1 channel, 1 rank, 8 banks, 128-byte lines in 8 KB rows (6 bits of
+// slot + 3 bits of bank + log2(rowsPerBank)), with rowsPerBank supplying the
+// remaining bits.
+func propertyGeometry(t *testing.T, lineBits uint) geom.Geometry {
+	t.Helper()
+	const fixedBits = 9 // 6 slot bits (8192/128 lines per row) + 3 bank bits
+	if lineBits <= fixedBits {
+		t.Fatalf("width %d too small for the fixed geometry bits", lineBits)
+	}
+	g, err := geom.New(1, 1, 8, 1<<(lineBits-fixedBits), 8192, 128)
+	if err != nil {
+		t.Fatalf("width %d: %v", lineBits, err)
+	}
+	if got := g.LineBits(); got != lineBits {
+		t.Fatalf("geometry has %d line bits, want %d", got, lineBits)
+	}
+	return g
+}
+
+// TestRubixSBijectionAcrossWidths is the property sweep the paper's security
+// argument rests on: for every supported line-address width (Rubix-S targets
+// 20–34 bits, i.e. 128 MB–2 TB at 128 B lines) the randomized mapping is a
+// bijection on the line-address domain. Small domains are enumerated
+// exhaustively with a bitset; large ones are sampled with a stride chosen to
+// sweep both dense low addresses and the full width.
+func TestRubixSBijectionAcrossWidths(t *testing.T) {
+	for lineBits := uint(20); lineBits <= 34; lineBits++ {
+		g := propertyGeometry(t, lineBits)
+		for _, gs := range []int{1, 4} {
+			m, err := NewRubixS(g, gs, kcipher.KeyFromSeed(0xC0FFEE+uint64(lineBits)))
+			if err != nil {
+				t.Fatalf("width %d GS%d: %v", lineBits, gs, err)
+			}
+			if lineBits <= 22 {
+				exhaustiveBijection(t, m, g, lineBits, gs)
+			} else {
+				sampledBijection(t, m, g, lineBits, gs)
+			}
+		}
+	}
+}
+
+// exhaustiveBijection checks the permutation property over the whole domain.
+func exhaustiveBijection(t *testing.T, m *RubixS, g geom.Geometry, lineBits uint, gs int) {
+	t.Helper()
+	total := g.TotalLines()
+	seen := make([]uint64, (total+63)/64)
+	for x := uint64(0); x < total; x++ {
+		y := m.Map(x)
+		if y >= total {
+			t.Fatalf("width %d GS%d: Map(%#x) = %#x escapes the domain", lineBits, gs, x, y)
+		}
+		if seen[y/64]&(1<<(y%64)) != 0 {
+			t.Fatalf("width %d GS%d: collision at physical line %#x", lineBits, gs, y)
+		}
+		seen[y/64] |= 1 << (y % 64)
+		if m.Unmap(y) != x {
+			t.Fatalf("width %d GS%d: Unmap(Map(%#x)) = %#x", lineBits, gs, x, m.Unmap(y))
+		}
+	}
+}
+
+// sampledBijection round-trips a deterministic sample of the domain and
+// checks injectivity over the sample.
+func sampledBijection(t *testing.T, m *RubixS, g geom.Geometry, lineBits uint, gs int) {
+	t.Helper()
+	total := g.TotalLines()
+	const samples = 1 << 16
+	stride := total / samples
+	if stride == 0 {
+		stride = 1
+	}
+	hit := make(map[uint64]uint64, samples)
+	for i := uint64(0); i < samples; i++ {
+		// Mix a striding sweep with a multiplicative scramble so both the
+		// dense low lines and the high bits get exercised.
+		x := (i*stride + i*0x9E3779B97F4A7C15) & (total - 1)
+		y := m.Map(x)
+		if y >= total {
+			t.Fatalf("width %d GS%d: Map(%#x) = %#x escapes the domain", lineBits, gs, x, y)
+		}
+		if prev, ok := hit[y]; ok && prev != x {
+			t.Fatalf("width %d GS%d: lines %#x and %#x both map to %#x", lineBits, gs, prev, x, y)
+		}
+		hit[y] = x
+		if m.Unmap(y) != x {
+			t.Fatalf("width %d GS%d: Unmap(Map(%#x)) = %#x", lineBits, gs, x, m.Unmap(y))
+		}
+	}
+}

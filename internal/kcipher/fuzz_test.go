@@ -1,0 +1,37 @@
+package kcipher
+
+import "testing"
+
+// FuzzKCipherRoundTrip drives the Feistel cipher with fuzzer-chosen widths,
+// keys, and plaintexts: Decrypt∘Encrypt must be the identity and both
+// directions must stay inside the 2^bits domain. The fuzzer explores the
+// width/key space far beyond the fixed seeds the unit tests pin.
+//
+// Run locally with:
+//
+//	go test ./internal/kcipher -fuzz FuzzKCipherRoundTrip -fuzztime 30s
+func FuzzKCipherRoundTrip(f *testing.F) {
+	f.Add(uint(MinBits), uint64(1), uint64(0))
+	f.Add(uint(28), uint64(42), uint64(0xDEAD_BEEF))
+	f.Add(uint(MaxBits), uint64(7), uint64(1)<<39)
+	f.Add(uint(13), uint64(9), uint64(0x1234))
+	f.Fuzz(func(t *testing.T, rawBits uint, seed, raw uint64) {
+		bits := MinBits + rawBits%(MaxBits-MinBits+1)
+		c := MustNew(bits, KeyFromSeed(seed))
+		x := raw & (c.Domain() - 1)
+		y := c.Encrypt(x)
+		if y >= c.Domain() {
+			t.Fatalf("width %d seed %d: Encrypt(%#x) = %#x escapes the domain", bits, seed, x, y)
+		}
+		back := c.Decrypt(y)
+		if back != x {
+			t.Fatalf("width %d seed %d: Decrypt(Encrypt(%#x)) = %#x", bits, seed, x, back)
+		}
+		// The inverse direction must round-trip too (Decrypt is itself a
+		// permutation).
+		z := c.Decrypt(x)
+		if z >= c.Domain() || c.Encrypt(z) != x {
+			t.Fatalf("width %d seed %d: Encrypt(Decrypt(%#x)) failed", bits, seed, x)
+		}
+	})
+}

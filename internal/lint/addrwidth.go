@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AddrWidth is the interprocedural deepening of the syntactic bitwidth pass:
+// it taints line/row/bank address values at their definition sites in the
+// address-arithmetic packages (mapping, kcipher, dram, core), follows them
+// through assignments, returns, call arguments, struct fields, and element
+// flows with a bit-bound transform per edge (masks cap, shifts shift), and
+// flags any flow through a narrowing conversion whose destination cannot hold
+// the bound that survives. Where the syntactic pass sees only the expression
+// inside the conversion, this one knows that a value returned by
+// mapping.Map carries up to 40 bits even after it crossed two helper
+// functions and a struct field.
+//
+// A finding comes with a machine-applicable fix that masks the operand to the
+// destination width, making the truncation explicit (and the re-run clean:
+// the mask caps the bound). Deliberate narrowings are annotated
+// //lint:allow bitwidth — honored here too via AltAllow, since this analyzer
+// subsumes the syntactic narrowing check.
+var AddrWidth = &Analyzer{
+	Name:         "addrwidth",
+	AltAllow:     []string{"bitwidth"},
+	Doc:          "address-typed values must not flow through narrowing conversions below the address width unless masked or annotated",
+	NeedsProgram: true,
+	Run:          runAddrWidth,
+}
+
+// addrNameParts mark an identifier as address-carrying; addrNameVeto
+// disqualifies identifiers that merely describe address geometry (widths,
+// counts, masks) rather than carrying an address.
+var (
+	addrNameParts = []string{"line", "row", "phys", "addr", "gang", "victim", "aggr", "block"}
+	addrNameVeto  = []string{"bits", "width", "mask", "count", "per", "size", "rate", "num", "rows", "lines", "blocks"}
+)
+
+// isAddrName reports whether a defined identifier names an address value.
+func isAddrName(name string) bool {
+	l := strings.ToLower(name)
+	for _, v := range addrNameVeto {
+		if strings.Contains(l, v) {
+			return false
+		}
+	}
+	for _, p := range addrNameParts {
+		if strings.Contains(l, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// addrResultFuncs are function/method names whose results carry addresses
+// regardless of result naming: the mapper and cipher surfaces.
+var addrResultFuncs = map[string]bool{
+	"Map": true, "Unmap": true, "Encrypt": true, "Decrypt": true,
+}
+
+func runAddrWidth(pass *Pass) error {
+	prog := pass.Prog
+	tm := prog.Taint("addrwidth", func() []Source {
+		var srcs []Source
+		for _, pkg := range prog.Packages() {
+			if !isAddrSourcePkg(pkg.Path) {
+				continue
+			}
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					id, ok := n.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					switch obj := pkg.Info.Defs[id].(type) {
+					case *types.Var:
+						w, isInt := intWidth(obj.Type())
+						if !isInt || w < 64 || !isAddrName(obj.Name()) {
+							return true
+						}
+						srcs = append(srcs, Source{
+							n:     objNode(obj),
+							bound: maxAddressBits,
+							pos:   pkg.Fset.Position(obj.Pos()),
+							what:  fmt.Sprintf("address value %q", obj.Name()),
+						})
+					case *types.Func:
+						if !addrResultFuncs[obj.Name()] {
+							return true
+						}
+						res := obj.Type().(*types.Signature).Results()
+						for i := 0; i < res.Len(); i++ {
+							if w, isInt := intWidth(res.At(i).Type()); isInt && w == 64 {
+								srcs = append(srcs, Source{
+									n:     resultNode(obj, i),
+									bound: maxAddressBits,
+									pos:   pkg.Fset.Position(obj.Pos()),
+									what:  fmt.Sprintf("result of %s.%s", pkg.Types.Name(), obj.Name()),
+								})
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+		return srcs
+	})
+	if len(tm) == 0 {
+		return nil
+	}
+	ev := &evaluator{prog: prog, pkg: pass.LintPkg}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := pass.Info.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			dstW, isInt := intWidth(tv.Type)
+			if !isInt || dstW >= 64 {
+				return true
+			}
+			effDst := dstW
+			if isSigned(tv.Type) {
+				effDst--
+			}
+			arg := call.Args[0]
+			hit, tainted := tm.Query(ev.origins(arg))
+			if !tainted || hit.Bound <= effDst {
+				return true
+			}
+			// The syntactic bound may already prove the value fits (e.g. a
+			// local mask the graph also models — but keep both, the cheaper
+			// one wins).
+			if maxBits(pass, arg) <= effDst {
+				return true
+			}
+			fix := maskFix(pass, arg, effDst)
+			pass.Report(call.Pos(), fmt.Sprintf(
+				"%s (%s) may carry %d bits here and narrows to %d-bit %s; mask explicitly, or annotate //lint:allow bitwidth <why>",
+				hit.What, shortPos(hit.Pos), hit.Bound, dstW, tv.Type), fix...)
+			return true
+		})
+	}
+	return nil
+}
+
+// maskFix builds the suggested fix that masks the conversion operand to
+// effDst bits, making the truncation explicit and the finding disappear on
+// the next run.
+func maskFix(pass *Pass, arg ast.Expr, effDst int) []SuggestedFix {
+	if effDst <= 0 || effDst >= 64 {
+		return nil
+	}
+	mask := fmt.Sprintf("%#x", uint64(1)<<effDst-1)
+	text := fmt.Sprintf(" & %s", mask)
+	if _, isBinary := ast.Unparen(arg).(*ast.BinaryExpr); isBinary && arg == ast.Unparen(arg) {
+		// a+b & mask would bind wrong; parenthesize the operand.
+		return []SuggestedFix{{
+			Message: fmt.Sprintf("mask the operand to %d bits", effDst),
+			Edits: []TextEdit{
+				{Pos: arg.Pos(), End: arg.Pos(), NewText: "("},
+				{Pos: arg.End(), End: arg.End(), NewText: ")" + text},
+			},
+		}}
+	}
+	return []SuggestedFix{{
+		Message: fmt.Sprintf("mask the operand to %d bits", effDst),
+		Edits:   []TextEdit{{Pos: arg.End(), End: arg.End(), NewText: text}},
+	}}
+}

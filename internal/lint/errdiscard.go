@@ -1,0 +1,292 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrDiscard enforces the follow-through of the de-panicking work: the
+// constructors and mapping surfaces that now return errors instead of
+// panicking are only safer if callers actually look at those errors. The
+// analyzer flags every discarded error result of a module-internal call —
+// `_ = f()`, `v, _ := f()`, and a bare `f()` statement — anywhere in the
+// module, including commands and examples. Standard-library callees are out
+// of scope (discarding fmt.Println's error is idiomatic).
+//
+// Where the enclosing function can propagate (its last result is an error
+// and the other results have mechanical zero values), the finding carries a
+// fix that names the error and returns it; elsewhere the finding is
+// fix-less and wants a real handler or a justified //lint:allow errdiscard.
+var ErrDiscard = &Analyzer{
+	Name:         "errdiscard",
+	Doc:          "error results of module-internal calls must not be discarded",
+	NeedsProgram: true,
+	Run:          runErrDiscard,
+}
+
+var errType = types.Universe.Lookup("error").Type()
+
+func runErrDiscard(pass *Pass) error {
+	ev := &evaluator{prog: pass.Prog, pkg: pass.LintPkg}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				checkBareCall(pass, ev, f, n)
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, ev, f, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// moduleCallee resolves the call's static callee if it is module-internal
+// (its defining package is part of the loaded program).
+func moduleCallee(ev *evaluator, call *ast.CallExpr) *types.Func {
+	fn := ev.staticCallee(call)
+	if fn == nil || fn.Pkg() == nil || ev.prog.Package(fn.Pkg().Path()) == nil {
+		return nil
+	}
+	return fn
+}
+
+// errResultIndexes returns the indexes of a call's error-typed results.
+func errResultIndexes(pass *Pass, call *ast.CallExpr) []int {
+	tv, ok := pass.Info.Types[call]
+	if !ok {
+		return nil
+	}
+	var out []int
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errType) {
+				out = append(out, i)
+			}
+		}
+	default:
+		if types.Identical(tv.Type, errType) {
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+// checkBareCall flags `f()` statements whose results include an error.
+// Defer and go statements are distinct AST nodes and are not flagged.
+func checkBareCall(pass *Pass, ev *evaluator, file *ast.File, stmt *ast.ExprStmt) {
+	call, ok := stmt.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := moduleCallee(ev, call)
+	if fn == nil {
+		return
+	}
+	errIdxs := errResultIndexes(pass, call)
+	if len(errIdxs) == 0 {
+		return
+	}
+	var fixes []SuggestedFix
+	if zeros, ok := enclosingReturnZeros(pass, file, stmt.Pos()); ok {
+		nres := 1
+		if t, ok := pass.Info.Types[call].Type.(*types.Tuple); ok {
+			nres = t.Len()
+		}
+		lhs := make([]string, nres)
+		for i := range lhs {
+			lhs[i] = "_"
+		}
+		lhs[errIdxs[0]] = "err"
+		head := strings.Join(lhs, ", ")
+		if nres == 1 {
+			head = "err"
+		}
+		indent := indentAt(pass, stmt.Pos())
+		fixes = append(fixes, SuggestedFix{
+			Message: "check the error and propagate it",
+			Edits: []TextEdit{{
+				Pos: stmt.Pos(),
+				End: stmt.End(),
+				NewText: fmt.Sprintf("if %s := %s; err != nil {\n%s\treturn %s\n%s}",
+					head, nodeText(pass, call), indent, zeros, indent),
+			}},
+		})
+	}
+	pass.Report(call.Pos(), fmt.Sprintf(
+		"error result of %s is discarded; handle it, or annotate //lint:allow errdiscard <why>",
+		calleeLabel(fn)), fixes...)
+}
+
+// checkBlankAssign flags `_ = f()` and `v, _ := f()` forms that drop an
+// error result of a module-internal call.
+func checkBlankAssign(pass *Pass, ev *evaluator, file *ast.File, n *ast.AssignStmt) {
+	if len(n.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := moduleCallee(ev, call)
+	if fn == nil {
+		return
+	}
+	errIdxs := errResultIndexes(pass, call)
+	for _, i := range errIdxs {
+		if i >= len(n.Lhs) {
+			continue
+		}
+		blank, ok := n.Lhs[i].(*ast.Ident)
+		if !ok || blank.Name != "_" {
+			continue
+		}
+		var fixes []SuggestedFix
+		zeros, canReturn := enclosingReturnZeros(pass, file, n.Pos())
+		if canReturn && n.Tok == token.DEFINE {
+			// v, _ := f()  →  v, err := f(); if err != nil { return ..., err }
+			indent := indentAt(pass, n.Pos())
+			fixes = append(fixes, SuggestedFix{
+				Message: "name the error and propagate it",
+				Edits: []TextEdit{
+					{Pos: blank.Pos(), End: blank.End(), NewText: "err"},
+					{Pos: n.End(), End: n.End(), NewText: fmt.Sprintf(
+						"\n%sif err != nil {\n%s\treturn %s\n%s}", indent, indent, zeros, indent)},
+				},
+			})
+		} else if canReturn && len(n.Lhs) == 1 {
+			// _ = f()  →  if err := f(); err != nil { return ..., err }
+			indent := indentAt(pass, n.Pos())
+			fixes = append(fixes, SuggestedFix{
+				Message: "check the error and propagate it",
+				Edits: []TextEdit{{
+					Pos: n.Pos(),
+					End: n.End(),
+					NewText: fmt.Sprintf("if err := %s; err != nil {\n%s\treturn %s\n%s}",
+						nodeText(pass, call), indent, zeros, indent),
+				}},
+			})
+		}
+		pass.Report(blank.Pos(), fmt.Sprintf(
+			"error result of %s is discarded; handle it, or annotate //lint:allow errdiscard <why>",
+			calleeLabel(fn)), fixes...)
+	}
+}
+
+// calleeLabel renders a callee for diagnostics: pkg.Func or pkg.Recv.Method.
+func calleeLabel(fn *types.Func) string {
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return fmt.Sprintf("%s.%s.%s", fn.Pkg().Name(), named.Obj().Name(), fn.Name())
+		}
+	}
+	return fmt.Sprintf("%s.%s", fn.Pkg().Name(), fn.Name())
+}
+
+// enclosingReturnZeros determines whether the function enclosing pos can
+// propagate an error — its last result is error and the preceding results
+// have mechanical zero values — and returns the rendered return operands
+// ("zeroA, zeroB, err").
+func enclosingReturnZeros(pass *Pass, file *ast.File, pos token.Pos) (string, bool) {
+	ft := enclosingFuncType(file, pos)
+	if ft == nil || ft.Results == nil {
+		return "", false
+	}
+	var resTypes []types.Type
+	for _, field := range ft.Results.List {
+		t := pass.TypeOf(field.Type)
+		if t == nil {
+			return "", false
+		}
+		nnames := len(field.Names)
+		if nnames == 0 {
+			nnames = 1
+		}
+		for j := 0; j < nnames; j++ {
+			resTypes = append(resTypes, t)
+		}
+	}
+	if len(resTypes) == 0 || !types.Identical(resTypes[len(resTypes)-1], errType) {
+		return "", false
+	}
+	parts := make([]string, 0, len(resTypes))
+	for _, t := range resTypes[:len(resTypes)-1] {
+		z, ok := zeroExpr(t)
+		if !ok {
+			return "", false
+		}
+		parts = append(parts, z)
+	}
+	parts = append(parts, "err")
+	return strings.Join(parts, ", "), true
+}
+
+// enclosingFuncType finds the innermost FuncDecl/FuncLit whose body spans
+// pos and returns its type.
+func enclosingFuncType(file *ast.File, pos token.Pos) *ast.FuncType {
+	var best *ast.FuncType
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil && n.Body.Pos() <= pos && pos <= n.Body.End() {
+				best = n.Type
+			}
+		case *ast.FuncLit:
+			if n.Body.Pos() <= pos && pos <= n.Body.End() {
+				best = n.Type
+			}
+		}
+		return true
+	})
+	return best
+}
+
+// zeroExpr renders the zero value of a type, when it has a context-free
+// spelling (structs and arrays would need qualified type names; callers
+// degrade to a fix-less finding there).
+func zeroExpr(t types.Type) (string, bool) {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch {
+		case u.Info()&types.IsNumeric != 0:
+			return "0", true
+		case u.Info()&types.IsString != 0:
+			return `""`, true
+		case u.Info()&types.IsBoolean != 0:
+			return "false", true
+		}
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return "nil", true
+	}
+	return "", false
+}
+
+// indentAt reproduces the leading indentation of the line holding pos,
+// assuming tab indentation (the repository is gofmt'd).
+func indentAt(pass *Pass, pos token.Pos) string {
+	col := pass.Fset.Position(pos).Column
+	if col < 1 {
+		col = 1
+	}
+	return strings.Repeat("\t", col-1)
+}
+
+// nodeText renders an AST node back to source text.
+func nodeText(pass *Pass, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, pass.Fset, n); err != nil {
+		return ""
+	}
+	return buf.String()
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// TextEdit replaces the source range [Pos, End) with NewText. End == Pos
+// inserts.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// SuggestedFix is a machine-applicable repair for one diagnostic. Fixes are
+// designed to be idempotent: applying a fix removes the finding, so a second
+// rubixlint -fix run produces no further edits.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// fileEdit is one edit resolved to byte offsets within a file.
+type fileEdit struct {
+	start, end int
+	newText    string
+}
+
+// ApplyFixes applies the first fix of every diagnostic that carries one,
+// returning the new contents per file, the number of fixes applied, and the
+// diagnostics left unfixed (no fix attached, or its edits overlapped an
+// already-applied fix). It does not write anything to disk.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) (map[string][]byte, int, []Diagnostic, error) {
+	byFile := make(map[string][]fileEdit)
+	var unfixed []Diagnostic
+	applied := 0
+	for _, d := range diags {
+		if len(d.Fixes) == 0 {
+			unfixed = append(unfixed, d)
+			continue
+		}
+		fix := d.Fixes[0]
+		ok := true
+		var resolved []struct {
+			file string
+			fe   fileEdit
+		}
+		for _, e := range fix.Edits {
+			pos := fset.Position(e.Pos)
+			end := fset.Position(e.End)
+			if !pos.IsValid() || !end.IsValid() || pos.Filename != end.Filename || end.Offset < pos.Offset {
+				ok = false
+				break
+			}
+			fe := fileEdit{start: pos.Offset, end: end.Offset, newText: e.NewText}
+			if overlaps(byFile[pos.Filename], fe) {
+				ok = false
+				break
+			}
+			resolved = append(resolved, struct {
+				file string
+				fe   fileEdit
+			}{pos.Filename, fe})
+		}
+		if !ok {
+			unfixed = append(unfixed, d)
+			continue
+		}
+		for _, r := range resolved {
+			byFile[r.file] = append(byFile[r.file], r.fe)
+		}
+		applied++
+	}
+	out := make(map[string][]byte)
+	for file, edits := range byFile { // key extraction not needed: map result
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, 0, nil, fmt.Errorf("lint: applying fixes: %w", err)
+		}
+		patched, err := patch(src, edits)
+		if err != nil {
+			return nil, 0, nil, fmt.Errorf("lint: applying fixes to %s: %w", file, err)
+		}
+		out[file] = patched
+	}
+	return out, applied, unfixed, nil
+}
+
+// overlaps reports whether fe intersects any already-accepted edit.
+func overlaps(edits []fileEdit, fe fileEdit) bool {
+	for _, e := range edits {
+		if fe.start < e.end && e.start < fe.end {
+			return true
+		}
+		// Two pure insertions at the same offset would be order-dependent.
+		if fe.start == fe.end && e.start == e.end && fe.start == e.start {
+			return true
+		}
+	}
+	return false
+}
+
+// patch applies non-overlapping edits to src, back to front.
+func patch(src []byte, edits []fileEdit) ([]byte, error) {
+	sorted := append([]fileEdit(nil), edits...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].start > sorted[j].start })
+	out := append([]byte(nil), src...)
+	for _, e := range sorted {
+		if e.end > len(out) {
+			return nil, fmt.Errorf("edit range [%d, %d) outside file of %d bytes", e.start, e.end, len(out))
+		}
+		out = append(out[:e.start], append([]byte(e.newText), out[e.end:]...)...)
+	}
+	return out, nil
+}

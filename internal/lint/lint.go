@@ -37,8 +37,15 @@ import (
 type Analyzer struct {
 	// Name is the analyzer identifier used in reports and allow directives.
 	Name string
+	// AltAllow lists additional allow-directive names honored for this
+	// analyzer's findings (addrwidth accepts bitwidth directives, since it
+	// subsumes that pass's narrowing check).
+	AltAllow []string
 	// Doc is a one-paragraph description of what the analyzer enforces.
 	Doc string
+	// NeedsProgram requests the whole-module value-flow Program on the pass
+	// (built once per Run and shared by every interprocedural analyzer).
+	NeedsProgram bool
 	// Run inspects one package via the pass and reports findings.
 	Run func(*Pass) error
 }
@@ -50,6 +57,12 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Prog is the interprocedural value-flow view of the whole module; nil
+	// unless the analyzer sets NeedsProgram.
+	Prog *Program
+	// LintPkg is the loaded package under analysis (the same data the
+	// fields above expose, plus its import path and directory).
+	LintPkg *Package
 
 	diags *[]Diagnostic
 }
@@ -59,6 +72,9 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Fixes holds machine-applicable repairs, best first; rubixlint -fix
+	// applies the first one.
+	Fixes []SuggestedFix
 }
 
 // String formats the diagnostic the way compilers do.
@@ -68,10 +84,16 @@ func (d Diagnostic) String() string {
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(pos, fmt.Sprintf(format, args...))
+}
+
+// Report records a finding at pos with optional suggested fixes.
+func (p *Pass) Report(pos token.Pos, message string, fixes ...SuggestedFix) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
-		Message:  fmt.Sprintf(format, args...),
+		Message:  message,
+		Fixes:    fixes,
 	})
 }
 
@@ -85,7 +107,10 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 
 // All returns the project's analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, Bitwidth, Seedflow, Panicpolicy}
+	return []*Analyzer{
+		Determinism, Bitwidth, Seedflow, Panicpolicy,
+		ObserverEffect, AddrWidth, ErrDiscard,
+	}
 }
 
 // Scope decides which analyzers run on which packages.
@@ -95,36 +120,48 @@ type Scope func(a *Analyzer, pkgPath string) bool
 // tests, which select scope by testdata layout instead).
 func EverythingScope(*Analyzer, string) bool { return true }
 
-// DefaultScope is the repository policy: seedflow gates every package;
-// panicpolicy gates library (internal/...) packages; determinism and
-// bitwidth gate the simulation packages — internal/... minus the lint tool
-// itself, which is tooling rather than simulation and may e.g. iterate maps
-// after sorting for report ordering.
+// DefaultScope is the repository policy: seedflow and errdiscard gate every
+// package; panicpolicy gates library (internal/...) packages; determinism,
+// bitwidth, and addrwidth gate the simulation packages — internal/... minus
+// the lint tool itself, which is tooling rather than simulation and may
+// e.g. iterate maps after sorting for report ordering; observereffect gates
+// the simulation packages minus internal/metrics, whose own implementation
+// legitimately reads the values it records.
 func DefaultScope(modulePath string) Scope {
 	internalPrefix := modulePath + "/internal/"
 	lintPrefix := modulePath + "/internal/lint"
+	metricsPath := modulePath + "/internal/metrics"
 	return func(a *Analyzer, pkgPath string) bool {
 		inInternal := strings.HasPrefix(pkgPath, internalPrefix)
+		simPkg := inInternal && !strings.HasPrefix(pkgPath, lintPrefix)
 		switch a.Name {
-		case "seedflow":
+		case "seedflow", "errdiscard":
 			return true
 		case "panicpolicy":
 			return inInternal
-		default: // determinism, bitwidth
-			return inInternal && !strings.HasPrefix(pkgPath, lintPrefix)
+		case "observereffect":
+			return simPkg && pkgPath != metricsPath
+		default: // determinism, bitwidth, addrwidth
+			return simPkg
 		}
 	}
 }
 
 // Run applies the analyzers to the packages under the scope policy, filters
-// suppressed findings, and returns the rest ordered by position.
+// suppressed findings, and returns the rest ordered by position. The
+// whole-module value-flow Program is built once, lazily, and shared by every
+// analyzer that requests it.
 func Run(pkgs []*Package, analyzers []*Analyzer, scope Scope) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	var prog *Program
 	for _, pkg := range pkgs {
 		allows := collectAllows(pkg)
 		for _, a := range analyzers {
 			if !scope(a, pkg.Path) {
 				continue
+			}
+			if a.NeedsProgram && prog == nil {
+				prog = BuildProgram(pkgs)
 			}
 			var raw []Diagnostic
 			pass := &Pass{
@@ -133,13 +170,19 @@ func Run(pkgs []*Package, analyzers []*Analyzer, scope Scope) ([]Diagnostic, err
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Prog:     prog,
+				LintPkg:  pkg,
 				diags:    &raw,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
 			}
 			for _, d := range raw {
-				if !allows.covers(a.Name, d.Pos) {
+				suppressed := allows.covers(a.Name, d.Pos)
+				for _, alt := range a.AltAllow {
+					suppressed = suppressed || allows.covers(alt, d.Pos)
+				}
+				if !suppressed {
 					diags = append(diags, d)
 				}
 			}

@@ -25,6 +25,18 @@ func TestPanicpolicy(t *testing.T) {
 	linttest.Run(t, testdata, lint.Panicpolicy, "panicpolicy")
 }
 
+func TestObserverEffect(t *testing.T) {
+	linttest.Run(t, testdata, lint.ObserverEffect, "observereffect")
+}
+
+func TestAddrWidth(t *testing.T) {
+	linttest.Run(t, testdata, lint.AddrWidth, "addrwidth")
+}
+
+func TestErrDiscard(t *testing.T) {
+	linttest.Run(t, testdata, lint.ErrDiscard, "errdiscard")
+}
+
 // TestDefaultScope pins the repository policy: which analyzers gate which
 // package families.
 func TestDefaultScope(t *testing.T) {
@@ -48,6 +60,15 @@ func TestDefaultScope(t *testing.T) {
 		{"panicpolicy", "rubix/internal/workload", true},
 		{"panicpolicy", "rubix/internal/lint", true},
 		{"panicpolicy", "rubix/examples/quickstart", false},
+		{"observereffect", "rubix/internal/sim", true},
+		{"observereffect", "rubix/internal/metrics", false},
+		{"observereffect", "rubix/internal/lint", false},
+		{"observereffect", "rubix/cmd/rubixsim", false},
+		{"addrwidth", "rubix/internal/mapping", true},
+		{"addrwidth", "rubix/internal/lint", false},
+		{"errdiscard", "rubix/cmd/rubixsim", true},
+		{"errdiscard", "rubix/examples/quickstart", true},
+		{"errdiscard", "rubix/internal/kcipher", true},
 	}
 	for _, c := range cases {
 		a := byName[c.analyzer]

@@ -44,11 +44,15 @@ func loadRoot(t *testing.T, root string) []*lint.Package {
 }
 
 // Run applies the analyzer to the testdata package at <root>/<pkgPath> and
-// compares its (post-suppression) diagnostics with the // want comments.
+// compares its (post-suppression) diagnostics with the // want comments. The
+// whole testdata tree is loaded and handed to lint.Run — interprocedural
+// analyzers need the full value-flow graph — with a scope that reports only
+// on the target package.
 func Run(t *testing.T, root string, a *lint.Analyzer, pkgPath string) {
 	t.Helper()
+	pkgs := loadRoot(t, root)
 	var target *lint.Package
-	for _, p := range loadRoot(t, root) {
+	for _, p := range pkgs {
 		if p.Path == pkgPath {
 			target = p
 			break
@@ -57,7 +61,8 @@ func Run(t *testing.T, root string, a *lint.Analyzer, pkgPath string) {
 	if target == nil {
 		t.Fatalf("testdata package %q not found under %s", pkgPath, root)
 	}
-	diags, err := lint.Run([]*lint.Package{target}, []*lint.Analyzer{a}, lint.EverythingScope)
+	onlyTarget := func(_ *lint.Analyzer, path string) bool { return path == pkgPath }
+	diags, err := lint.Run(pkgs, []*lint.Analyzer{a}, onlyTarget)
 	if err != nil {
 		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
 	}

@@ -1,0 +1,42 @@
+// Package addrwidth exercises the interprocedural address-width analyzer:
+// values carrying the 40-bit address bound must not pass through narrowing
+// conversions that cannot hold them.
+package addrwidth
+
+import "mapping"
+
+// Direct is the true positive: a mapper result narrowed to 32 bits.
+func Direct(m mapping.Mapper, line uint64) uint32 {
+	row := m.Map(line)
+	return uint32(row) // want "may carry 40 bits.*narrows to 32-bit"
+}
+
+// shift drops three bits; the engine composes the transform through the
+// call.
+func shift(v uint64) uint64 {
+	return v >> 3
+}
+
+// Indirect is the interprocedural positive: the bound survives a helper
+// call (40 - 3 = 37 bits) and still overflows uint16.
+func Indirect(m mapping.Mapper, line uint64) uint16 {
+	r := shift(m.Map(line))
+	return uint16(r) // want "may carry 37 bits.*narrows to 16-bit"
+}
+
+// Masked is the mask negative: capping to the destination width first makes
+// the narrowing explicit and safe.
+func Masked(m mapping.Mapper, line uint64) uint32 {
+	return uint32(m.Map(line) & 0xffffffff)
+}
+
+// Allowed is the annotated negative, via the bitwidth directive this
+// analyzer honors as an alternative name.
+func Allowed(m mapping.Mapper, line uint64) uint8 {
+	return uint8(m.Map(line)) //lint:allow bitwidth fixture: only the low byte keys the histogram bucket
+}
+
+// Wide is the clean negative: converting to a 64-bit type loses nothing.
+func Wide(m mapping.Mapper, line uint64) uint64 {
+	return uint64(int64(m.Map(line)))
+}

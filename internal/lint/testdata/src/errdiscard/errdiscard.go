@@ -1,0 +1,58 @@
+// Package errdiscard exercises the discarded-error analyzer: error results
+// of module-internal calls must be handled.
+package errdiscard
+
+import (
+	"fmt"
+
+	"dram"
+)
+
+// Drop is the true positive: the constructor's error vanishes into a blank.
+func Drop() *dram.Bank {
+	b, _ := dram.New(8) // want "error result of dram.New is discarded"
+	return b
+}
+
+// Bare is the statement positive: the call's only result is an error and the
+// statement throws it away.
+func Bare() {
+	dram.Check() // want "error result of dram.Check is discarded"
+}
+
+// Blank is the explicit-discard positive.
+func Blank() {
+	_ = dram.Check() // want "error result of dram.Check is discarded"
+}
+
+// wrap adds a module-internal hop; the callee is resolved through the
+// program's package set, not by import path prefix.
+func wrap() (*dram.Bank, error) {
+	return dram.New(2)
+}
+
+// DropWrapped is the interprocedural positive: the discarded error comes out
+// of a same-module helper, two packages away from where it originated.
+func DropWrapped() {
+	_, _ = wrap() // want "error result of errdiscard.wrap is discarded"
+}
+
+// Allowed is the annotated negative.
+func Allowed() {
+	_ = dram.Check() //lint:allow errdiscard fixture: Check cannot fail for the default geometry
+}
+
+// Handled is the clean negative: the error is inspected.
+func Handled() (*dram.Bank, error) {
+	b, err := dram.New(8)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Stdlib is the out-of-scope negative: discarding a standard-library error
+// is not this analyzer's business.
+func Stdlib() {
+	fmt.Println("ok")
+}

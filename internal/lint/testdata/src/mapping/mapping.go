@@ -1,0 +1,19 @@
+// Package mapping is a miniature of the real address-mapping package: the
+// addrwidth analyzer seeds its address-named values and Map/Unmap results
+// with the 40-bit address bound.
+package mapping
+
+// Mapper maps line addresses.
+type Mapper interface {
+	Map(line uint64) uint64
+	Unmap(row uint64) uint64
+}
+
+// Sequential is the identity mapping.
+type Sequential struct{}
+
+// Map returns the line unchanged.
+func (Sequential) Map(line uint64) uint64 { return line }
+
+// Unmap returns the row unchanged.
+func (Sequential) Unmap(row uint64) uint64 { return row }

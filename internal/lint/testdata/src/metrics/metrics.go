@@ -1,0 +1,46 @@
+// Package metrics is a miniature of the real internal/metrics package: the
+// observereffect analyzer classifies it by basename and treats its reads as
+// taint sources.
+package metrics
+
+// Counter counts events.
+type Counter struct{ v uint64 }
+
+// Add increments the counter.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value reads the count back — a telemetry read.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Snapshot is a point-in-time view of all recorded metrics.
+type Snapshot struct {
+	Counters map[string]uint64
+}
+
+// Recorder hands out metric handles.
+type Recorder struct{ counters map[string]*Counter }
+
+// Counter returns the named counter handle.
+func (r *Recorder) Counter(name string) *Counter {
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Snapshot captures current values — a telemetry read.
+func (r *Recorder) Snapshot() *Snapshot {
+	s := &Snapshot{Counters: make(map[string]uint64)}
+	for name, c := range r.counters {
+		s.Counters[name] = c.v
+	}
+	return s
+}
+
+// WallNow is the sanctioned host clock — still a telemetry read.
+func WallNow() int64 { return 0 }

@@ -1,0 +1,52 @@
+// Package observereffect exercises the observer-effect analyzer: values read
+// from the metrics package must not flow into simulation state.
+package observereffect
+
+import (
+	"dram"
+	"metrics"
+)
+
+// Direct is the true positive: a counter read written straight into state.
+func Direct(b *dram.Bank, c *metrics.Counter) {
+	b.Threshold = c.Value() // want "metrics.Value.*written into simulation state"
+}
+
+// launder moves the value through a helper so only interprocedural tracking
+// can connect the read to the sink.
+func launder(v uint64) uint64 {
+	w := v + 1
+	return w
+}
+
+// Indirect is the interprocedural positive: snapshot field → local → helper
+// function → argument of a state-package method.
+func Indirect(b *dram.Bank, r *metrics.Recorder) {
+	s := r.Snapshot()
+	v := launder(s.Counters["acts"])
+	b.Activate(v) // want "passed into dram.Activate"
+}
+
+// Build is the composite-literal positive: telemetry initializing state.
+func Build(c *metrics.Counter) *dram.Bank {
+	return &dram.Bank{Threshold: c.Value()} // want "initializes simulation state"
+}
+
+// Allowed is the annotated negative: a justified allow suppresses the
+// finding.
+func Allowed(b *dram.Bank, c *metrics.Counter) {
+	b.Threshold = c.Value() //lint:allow observereffect fixture: threshold calibration harness runs outside the replay path
+}
+
+// Wire is the plumbing negative: handing a metrics-typed handle into a
+// state-package call is wiring the subsystem, not feedback.
+func Wire(b *dram.Bank, r *metrics.Recorder) *metrics.Counter {
+	c := r.Counter("acts")
+	dram.Attach(b, c)
+	return c
+}
+
+// Clean is the untainted negative: ordinary state math is untouched.
+func Clean(b *dram.Bank, rows uint64) {
+	b.Threshold = rows * 2
+}

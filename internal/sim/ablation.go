@@ -116,7 +116,10 @@ func (s *Suite) AblationSegments(gs int, segments []int) ([]SegmentRow, error) {
 		var storage int
 		var period float64
 		for _, wl := range wls {
-			base, _ := s.Run(RunSpec{Workload: wl, Mapping: "coffeelake", Mitigation: "none", TRH: 128})
+			base, err := s.Run(RunSpec{Workload: wl, Mapping: "coffeelake", Mitigation: "none", TRH: 128})
+			if err != nil {
+				return nil, err
+			}
 			profiles, err := ResolveWorkload(wl, s.opts.Cores, s.opts.Geometry, s.opts.Seed)
 			if err != nil {
 				return nil, err

@@ -12,7 +12,7 @@
 //
 // # Quick start
 //
-//	profiles, _ := rubix.Profiles("gcc", 4, rubix.DefaultGeometry(), 42)
+//	profiles, _ := rubix.ResolveWorkload("gcc", 4, rubix.DefaultGeometry(), 42)
 //	res, _ := rubix.Run(rubix.Config{
 //		Geometry:       rubix.DefaultGeometry(),
 //		TRH:            128,
@@ -137,14 +137,6 @@ func NewRecorder(cfg MetricsConfig) *Recorder { return metrics.New(cfg) }
 // generator per core.
 func ResolveWorkload(spec string, cores int, g Geometry, seed uint64) ([]Profile, error) {
 	return sim.ResolveWorkload(spec, cores, g, seed)
-}
-
-// Profiles resolves a workload name into one generator per core.
-//
-// Deprecated: use ResolveWorkload, the single resolver for all workload
-// families. Profiles remains as a thin wrapper for existing callers.
-func Profiles(name string, cores int, g Geometry, seed uint64) ([]Profile, error) {
-	return sim.ResolveWorkload(name, cores, g, seed)
 }
 
 // SpecWorkloads lists the 18 calibrated SPEC CPU2017 stand-ins (Table 2).

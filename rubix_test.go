@@ -8,7 +8,7 @@ import (
 
 func TestPublicQuickstart(t *testing.T) {
 	g := rubix.DefaultGeometry()
-	profiles, err := rubix.Profiles("gcc", 4, g, 42)
+	profiles, err := rubix.ResolveWorkload("gcc", 4, g, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestPublicWorkloadList(t *testing.T) {
 		t.Fatalf("workloads = %d, want 18", len(names))
 	}
 	for _, n := range names {
-		if _, err := rubix.Profiles(n, 2, rubix.DefaultGeometry(), 1); err != nil {
+		if _, err := rubix.ResolveWorkload(n, 2, rubix.DefaultGeometry(), 1); err != nil {
 			t.Errorf("%s: %v", n, err)
 		}
 	}
