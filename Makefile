@@ -1,6 +1,6 @@
 # Convenience targets mirroring the CI jobs (.github/workflows/ci.yml).
 
-.PHONY: all build test race lint ci profile bench
+.PHONY: all build test race lint ci profile bench benchdiff
 
 all: build test
 
@@ -28,6 +28,14 @@ ci: build test race lint
 # absolute numbers depend on the machine.
 bench:
 	go test -bench . -benchmem -run '^$$' ./... | go run ./cmd/benchjson > BENCH_sim.json
+
+# Regression gate against the committed baseline: generous ns/op tolerance
+# (wall time is machine-dependent), strict allocs/op (allocation counts are
+# deterministic). -benchtime 100ms keeps the fresh run bounded; per-op
+# numbers stay comparable to the 1s baseline.
+benchdiff:
+	go test -bench . -benchmem -benchtime 100ms -run '^$$' ./... \
+		| go run ./cmd/benchjson | go run ./cmd/benchdiff -baseline BENCH_sim.json
 
 # Profile a mid-size hot configuration: CPU profile and metrics snapshot
 # land in results/, and a live pprof + /metrics endpoint serves on :6060

@@ -47,3 +47,77 @@ func BenchmarkAccessWithWatchdog(b *testing.B) {
 		now = res.Completion
 	}
 }
+
+// Census micro-benchmarks: the recordACT path in isolation, uniform vs
+// skewed row distributions, and the cost of a window roll at a realistic
+// per-window row population. These are the structures the flat census
+// rebuilt; the committed baseline (BENCH_sim.json) gates their allocs/op
+// at zero via cmd/benchdiff.
+
+func benchmarkCensus(b *testing.B, rows []uint64) {
+	b.Helper()
+	m := New(Config{Geometry: geom.DDR4_16GB(), Timing: DDR4_2400()})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.recordACT(rows[i&(len(rows)-1)], i&127, 0, false)
+	}
+}
+
+func BenchmarkCensusUniform(b *testing.B) {
+	r := rng.NewXoshiro256(3)
+	rows := make([]uint64, 1<<16)
+	total := geom.DDR4_16GB().TotalRows()
+	for i := range rows {
+		rows[i] = r.Uint64n(total)
+	}
+	benchmarkCensus(b, rows)
+}
+
+func BenchmarkCensusSkewed(b *testing.B) {
+	// 90% of activations hit a 64-row hot set; the tail is uniform — the
+	// shape a Rowhammer-adjacent workload produces.
+	r := rng.NewXoshiro256(4)
+	total := geom.DDR4_16GB().TotalRows()
+	hot := make([]uint64, 64)
+	for i := range hot {
+		hot[i] = r.Uint64n(total)
+	}
+	rows := make([]uint64, 1<<16)
+	for i := range rows {
+		if r.Uint64n(10) != 0 {
+			rows[i] = hot[r.Uint64n(64)]
+		} else {
+			rows[i] = r.Uint64n(total)
+		}
+	}
+	benchmarkCensus(b, rows)
+}
+
+func BenchmarkCensusWindowRoll(b *testing.B) {
+	// Populate ~64K rows per window (an mcf-like population), then roll.
+	r := rng.NewXoshiro256(5)
+	total := geom.DDR4_16GB().TotalRows()
+	rows := make([]uint64, 1<<16)
+	for i := range rows {
+		rows[i] = r.Uint64n(total)
+	}
+	tm := DDR4_2400()
+	m := New(Config{Geometry: geom.DDR4_16GB(), Timing: tm})
+	// Warm the table to its steady-state size so the timed loop measures
+	// the roll itself, not the one-time geometric growth.
+	for _, row := range rows {
+		m.recordACT(row, -1, 0, false)
+	}
+	m.recordACT(rows[0], -1, m.windowEnd, false)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(rows)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, row := range rows {
+			m.recordACT(row, -1, 0, false)
+		}
+		// Roll by recording one activation past the window boundary.
+		m.recordACT(rows[0], -1, m.windowEnd, false)
+	}
+}

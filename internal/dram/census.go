@@ -1,0 +1,152 @@
+// Row census: per-row activation accounting inside one refresh window.
+//
+// The census is the hottest data structure in the simulator — every
+// activation touches it, and a full run rolls it once per 64 ms window.
+// The original implementation was a map[uint64]*rowCensus, which costs one
+// heap allocation per unique row per window (the dominant allocation source
+// of an end-to-end run) plus rehash/clear churn at every window roll.
+//
+// flatCensus replaces it with an open-addressed hash table of *inline*
+// census values. Window rolls do not touch the slots at all: each slot is
+// stamped with the epoch (window number) that wrote it, and a slot whose
+// stamp differs from the current epoch is simply free. Rolling a window is
+// therefore O(1) on the table, frees nothing, and a steady-state run
+// performs zero allocations on the ACT path (the table grows geometrically
+// toward the peak per-window row count and then stays put).
+//
+// The activating-line bitmaps (Table 3) live in a parallel array allocated
+// only when the line census is enabled, so the common performance-run
+// configuration pays 16 bytes per slot instead of 32. The table is
+// reconstructed fresh every run, so total growth-chain bytes — discarded
+// intermediates plus final overshoot — are what show up in an end-to-end
+// allocation profile; doubling keeps the final table within 2x of need.
+//
+// Iteration is a linear slot walk (see finalizeWindow). The walk visits
+// rows in table order, which is not insertion order but *is* a pure
+// function of the insertion history — deterministic with no map-ordering
+// caveats, so no //lint:allow determinism waiver is needed — and every
+// window aggregate is order-independent anyway. The walk is O(table), but
+// the load factor keeps the table within a small constant of the occupied
+// count.
+package dram
+
+// censusSlot is one open-addressed table entry: a row key, the epoch that
+// claimed the slot, and the activation count. 16 bytes, so probe chains
+// stay within a cache line.
+type censusSlot struct {
+	row   uint64
+	epoch uint32
+	acts  uint32
+}
+
+// flatCensus is the open-addressed, epoch-stamped row-census table.
+type flatCensus struct {
+	slots []censusSlot
+	lines [][2]uint64 // per-slot 128-bit touched-line bitmaps; nil unless trackLines
+	mask  uint64      // len(slots)-1; len is always a power of two
+	shift uint        // 64 - log2(len(slots)), for Fibonacci hashing
+	live  int         // slots claimed in the current epoch
+	epoch uint32      // current window stamp; slots with a different stamp are free
+
+	trackLines bool
+}
+
+// censusInitSlots is the initial table size: small enough that short runs
+// and per-test modules stay cheap, large enough that realistic workloads
+// reach steady state within a few geometric growths.
+const censusInitSlots = 1 << 8
+
+func newFlatCensus(trackLines bool) flatCensus {
+	c := flatCensus{
+		slots:      make([]censusSlot, censusInitSlots),
+		epoch:      1, // zero-valued slots must never look occupied
+		trackLines: trackLines,
+	}
+	if trackLines {
+		c.lines = make([][2]uint64, censusInitSlots)
+	}
+	c.mask = uint64(len(c.slots) - 1)
+	c.shift = 64 - log2u64(uint64(len(c.slots)))
+	return c
+}
+
+func log2u64(v uint64) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// get returns the slot index for row, claiming a free slot on first touch
+// within the current window. The index is valid until the next get or
+// reset call (growth may move entries).
+func (c *flatCensus) get(row uint64) int {
+	if (c.live+1)*4 > len(c.slots)*3 {
+		c.grow()
+	}
+	// Fibonacci hashing spreads the structured global-row space (bank bits
+	// in the low positions) across the table; linear probing keeps chains
+	// within adjacent cache lines.
+	i := (row * 0x9E3779B97F4A7C15) >> c.shift
+	for {
+		s := &c.slots[i]
+		if s.epoch != c.epoch { // free (never used, or stale from an old window)
+			s.row = row
+			s.epoch = c.epoch
+			s.acts = 0
+			if c.trackLines {
+				c.lines[i] = [2]uint64{}
+			}
+			c.live++
+			return int(i)
+		}
+		if s.row == row {
+			return int(i)
+		}
+		i = (i + 1) & c.mask
+	}
+}
+
+// grow doubles the table and reinserts the current window's live entries.
+func (c *flatCensus) grow() {
+	old := c.slots
+	oldLines := c.lines
+	c.slots = make([]censusSlot, 2*len(old))
+	if c.trackLines {
+		c.lines = make([][2]uint64, len(c.slots))
+	}
+	c.mask = uint64(len(c.slots) - 1)
+	c.shift = 64 - log2u64(uint64(len(c.slots)))
+	for oi := range old {
+		s := &old[oi]
+		if s.epoch != c.epoch {
+			continue
+		}
+		i := (s.row * 0x9E3779B97F4A7C15) >> c.shift
+		for c.slots[i].epoch == c.epoch {
+			i = (i + 1) & c.mask
+		}
+		c.slots[i] = *s
+		if c.trackLines {
+			c.lines[i] = oldLines[oi]
+		}
+	}
+}
+
+// reset starts a new window. No slot is touched: bumping the epoch
+// invalidates every entry at once.
+func (c *flatCensus) reset() {
+	c.live = 0
+	c.epoch++
+	if c.epoch == 0 {
+		// The 32-bit stamp wrapped (after ~4 billion windows — 8+ simulated
+		// years). Scrub the table so stale stamps cannot alias epoch 1.
+		clear(c.slots)
+		c.epoch = 1
+	}
+}
+
+// len reports the number of rows recorded in the current window.
+func (c *flatCensus) len() int { return c.live }

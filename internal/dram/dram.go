@@ -85,11 +85,6 @@ type bankState struct {
 	wrote        bool // open row received a write (write recovery applies)
 }
 
-type rowCensus struct {
-	acts  uint32
-	lines [2]uint64 // 128-bit bitmap of touched slots (when line census on)
-}
-
 // AccessResult reports the outcome of one demand access.
 type AccessResult struct {
 	Completion float64 // ns at which data is available
@@ -198,7 +193,7 @@ type Module struct {
 	// Accounting.
 	trh        int // Rowhammer threshold for the watchdog (0 disables)
 	lineCensus bool
-	rows       map[uint64]*rowCensus
+	census     flatCensus
 	windowEnd  float64
 	stats      Stats
 
@@ -232,9 +227,12 @@ func New(cfg Config) *Module {
 		busFree:    make([]float64, cfg.Geometry.Channels),
 		trh:        cfg.TRH,
 		lineCensus: cfg.LineCensus,
-		rows:       make(map[uint64]*rowCensus, 1<<14),
+		census:     newFlatCensus(cfg.LineCensus),
 		windowEnd:  cfg.Timing.RefreshWindow,
 	}
+	// A 250M-instruction run spans a handful of refresh windows; reserving
+	// them up front keeps Windows appends off the steady-state ACT path.
+	m.stats.Windows = make([]WindowStats, 0, 8)
 	for i := range m.banks {
 		m.banks[i].openRow = -1
 		m.banks[i].lastActStart = -cfg.Timing.TRC // no phantom ACT at t=0
@@ -274,11 +272,17 @@ func (m *Module) AccessRW(phys uint64, earliest float64, write bool) AccessResul
 		}
 		for earliest >= bank.nextRefresh {
 			end := bank.nextRefresh + m.Timing.TRFC
+			if bank.wrote {
+				// Refresh requires the bank precharged, and a written row
+				// must satisfy write recovery before it may precharge — so
+				// the first catch-up refresh eats tWR on top of tRFC.
+				end += m.Timing.TWR
+				bank.wrote = false
+			}
 			if bank.readyAt < end {
 				bank.readyAt = end
 			}
 			bank.openRow = -1 // refresh closes the row
-			bank.wrote = false
 			bank.nextRefresh += m.Timing.TREFI
 		}
 	}
@@ -294,7 +298,8 @@ func (m *Module) AccessRW(phys uint64, earliest float64, write bool) AccessResul
 		start := max(earliest, bank.readyAt)
 		m.stats.WaitBankNs += start - earliest
 		m.mMisses.Inc()
-		if bank.openRow >= 0 {
+		conflict := bank.openRow >= 0
+		if conflict {
 			m.mConflicts.Inc()
 			m.rec.Event(metrics.EvRowConflict, start, row)
 			// Row-hit-first: wait out the open row's lease, then precharge
@@ -309,7 +314,14 @@ func (m *Module) AccessRW(phys uint64, earliest float64, write bool) AccessResul
 		}
 		actStart := max(start, bank.lastActStart+m.Timing.TRC)
 		casReady = actStart + m.Timing.TRCD
-		m.stats.PrepNs += casReady - start + m.Timing.TRP
+		// Prep time is the activate latency, plus the precharge only when
+		// one was actually issued (row conflict); a bank that was already
+		// closed goes straight to ACT.
+		prep := casReady - start
+		if conflict {
+			prep += m.Timing.TRP
+		}
+		m.stats.PrepNs += prep
 		bank.lastActStart = actStart
 		bank.openRow = int64(row)
 		bank.openAccesses = 0
@@ -397,14 +409,10 @@ func (m *Module) recordACT(row uint64, slot int, at float64, demand bool) {
 	for at >= m.windowEnd {
 		m.rollWindow()
 	}
-	rc := m.rows[row]
-	if rc == nil {
-		rc = &rowCensus{}
-		m.rows[row] = rc
-	}
-	rc.acts++
+	idx := m.census.get(row)
+	m.census.slots[idx].acts++
 	if m.lineCensus && slot >= 0 {
-		rc.lines[slot>>6] |= 1 << (uint(slot) & 63)
+		m.census.lines[idx][slot>>6] |= 1 << (uint(slot) & 63)
 	}
 }
 
@@ -416,16 +424,23 @@ func (m *Module) rollWindow() {
 }
 
 func (m *Module) finalizeWindow() {
-	w := WindowStats{Start: m.stats.currentStart, UniqueRows: len(m.rows)}
-	//lint:allow determinism order-independent: max and counter aggregation over the census is commutative
-	for _, rc := range m.rows {
+	w := WindowStats{Start: m.stats.currentStart, UniqueRows: m.census.len()}
+	// Linear slot walk: table order is a pure function of the insertion
+	// history, so this is deterministic (and every field is
+	// order-independent anyway).
+	for idx := range m.census.slots {
+		rc := &m.census.slots[idx]
+		if rc.epoch != m.census.epoch {
+			continue
+		}
 		if rc.acts > w.MaxActs {
 			w.MaxActs = rc.acts
 		}
 		if rc.acts >= 64 {
 			w.Hot64++
 			if m.lineCensus {
-				n := bits.OnesCount64(rc.lines[0]) + bits.OnesCount64(rc.lines[1])
+				lb := &m.census.lines[idx]
+				n := bits.OnesCount64(lb[0]) + bits.OnesCount64(lb[1])
 				w.LineSum += n
 				switch {
 				case n <= 32:
@@ -447,7 +462,7 @@ func (m *Module) finalizeWindow() {
 	if w.UniqueRows > 0 || len(m.stats.Windows) == 0 {
 		m.stats.Windows = append(m.stats.Windows, w)
 	}
-	clear(m.rows)
+	m.census.reset()
 }
 
 // Finalize closes the last (partial) window and returns the run's stats.

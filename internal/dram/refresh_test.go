@@ -50,6 +50,35 @@ func TestRefreshDisabledByDefault(t *testing.T) {
 	}
 }
 
+func TestWriteRecoveryChargedOnRefreshClose(t *testing.T) {
+	tm := DDR4_2400().WithRefresh()
+	g := geom.DDR4_16GB()
+
+	// Read case: open a row, let the refresh deadline pass, access again.
+	mr := New(Config{Geometry: g, Timing: tm})
+	mr.Access(lineAt(g, 0, 0), 0)
+	readRes := mr.Access(lineAt(g, 0, 1), tm.TREFI+1)
+
+	// Write case: identical schedule, but the open row was written, so the
+	// refresh-close must absorb write recovery before the implicit precharge.
+	mw := New(Config{Geometry: g, Timing: tm})
+	mw.AccessRW(lineAt(g, 0, 0), 0, true)
+	writeRes := mw.Access(lineAt(g, 0, 1), tm.TREFI+1)
+
+	if d := writeRes.Completion - readRes.Completion; d < tm.TWR-0.01 {
+		t.Fatalf("refresh-close skipped write recovery: write completes %.1f ns after read, want >= tWR (%.1f)",
+			d, tm.TWR)
+	}
+	// And the wrote flag must be consumed: a later conflict in the write
+	// module must not charge tWR a second time.
+	later := writeRes.Completion + 1000
+	conf := mw.Access(lineAt(g, 0, 0), later) // conflicts with the open row
+	confRead := mr.Access(lineAt(g, 0, 0), later)
+	if d := conf.Completion - later - (confRead.Completion - later); d > 0.01 {
+		t.Fatalf("write recovery double-charged after refresh close: conflict latency differs by %.1f ns", d)
+	}
+}
+
 func TestWriteRecoveryChargedOnConflict(t *testing.T) {
 	tm := DDR4_2400()
 	m := New(Config{Geometry: geom.DDR4_16GB(), Timing: tm})

@@ -175,9 +175,14 @@ type Recorder struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Hist
 
-	ring    []Event
-	ringCap int
-	seen    uint64 // total events offered to the ring
+	// The event ring is allocated once at its full bound and reused in
+	// place: Event writes through ringNext with a branch-only wrap, so the
+	// steady-state trace path performs no allocation, no append
+	// bookkeeping, and no modulo.
+	ring     []Event
+	ringCap  int
+	ringNext int    // next slot to overwrite
+	seen     uint64 // total events offered to the ring
 
 	phases     []PhaseTiming
 	phaseStart int64
@@ -194,7 +199,7 @@ func New(cfg Config) *Recorder {
 		hook:     cfg.PhaseHook,
 	}
 	if r.ringCap > 0 {
-		r.ring = make([]Event, 0, r.ringCap)
+		r.ring = make([]Event, r.ringCap)
 	}
 	return r
 }
@@ -245,11 +250,10 @@ func (r *Recorder) Event(kind EventKind, at float64, row uint64) {
 	if r == nil || r.ringCap == 0 {
 		return
 	}
-	e := Event{Kind: kind, At: at, Row: row}
-	if len(r.ring) < r.ringCap {
-		r.ring = append(r.ring, e)
-	} else {
-		r.ring[r.seen%uint64(r.ringCap)] = e
+	r.ring[r.ringNext] = Event{Kind: kind, At: at, Row: row}
+	r.ringNext++
+	if r.ringNext == r.ringCap {
+		r.ringNext = 0
 	}
 	r.seen++
 }
@@ -306,16 +310,19 @@ func (r *Recorder) Snapshot() *Snapshot {
 		}
 	}
 	if r.seen > 0 {
-		s.Events = make([]Event, 0, len(r.ring))
 		// Unroll the ring oldest-first: once it has wrapped, the oldest
 		// entry sits at the next overwrite position.
-		start := uint64(0)
-		if r.seen > uint64(r.ringCap) {
-			start = r.seen % uint64(r.ringCap)
+		n := r.ringCap
+		start := r.ringNext
+		if r.seen < uint64(r.ringCap) {
+			n = int(r.seen)
+			start = 0
+		} else {
 			s.EventsDropped = r.seen - uint64(r.ringCap)
 		}
-		for i := 0; i < len(r.ring); i++ {
-			s.Events = append(s.Events, r.ring[(start+uint64(i))%uint64(len(r.ring))])
+		s.Events = make([]Event, 0, n)
+		for i := 0; i < n; i++ {
+			s.Events = append(s.Events, r.ring[(start+i)%r.ringCap])
 		}
 	}
 	return s

@@ -85,6 +85,31 @@ func TestEventRingPartiallyFilled(t *testing.T) {
 	}
 }
 
+func TestEventRingExactBoundary(t *testing.T) {
+	r := New(Config{TraceEvents: 4})
+	for i := 0; i < 4; i++ {
+		r.Event(EvActivation, float64(i), uint64(i))
+	}
+	s := r.Snapshot()
+	if len(s.Events) != 4 || s.EventsDropped != 0 {
+		t.Fatalf("exactly-full ring: %d events, %d dropped", len(s.Events), s.EventsDropped)
+	}
+	for i, e := range s.Events {
+		if e.Row != uint64(i) {
+			t.Fatalf("event %d row = %d, want %d", i, e.Row, i)
+		}
+	}
+}
+
+func TestEventRingSteadyStateAllocFree(t *testing.T) {
+	r := New(Config{TraceEvents: 64})
+	if allocs := testing.AllocsPerRun(1000, func() {
+		r.Event(EvActivation, 1.0, 7)
+	}); allocs != 0 {
+		t.Fatalf("Event allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
 func TestPhasesAndHook(t *testing.T) {
 	var hooked int
 	r := New(Config{PhaseHook: func(s *Snapshot) {

@@ -69,10 +69,18 @@ func NewMisraGries(threshold int, capacity int) *MisraGries {
 	if capacity < 1 {
 		capacity = 1
 	}
+	// The capacity is a logical entry bound, not a storage commitment: a
+	// low-threshold tracker may be entitled to millions of entries yet hold
+	// a few thousand for its whole life. Cap the pre-size hint and let the
+	// map grow to workloads that actually need it.
+	hint := capacity
+	if hint > 1<<12 {
+		hint = 1 << 12
+	}
 	return &MisraGries{
 		threshold: uint32(threshold),
 		capacity:  capacity,
-		counts:    make(map[uint64]uint32, capacity),
+		counts:    make(map[uint64]uint32, hint),
 	}
 }
 
@@ -142,29 +150,50 @@ func (t *MisraGries) Reports() uint64 { return t.reports }
 
 // PerRow is an exact tracker with one counter per row in memory, as assumed
 // for BlockHammer in the paper ("an idealized SRAM tracker with one counter
-// per row"). Resets are O(1) via epoch stamping.
+// per row"). The *hardware* it models is a dense counter array; the
+// simulation stores only rows actually touched this window, in an
+// open-addressed epoch-stamped table, so constructing a tracker over a
+// 2M-row module costs a few KB instead of two row-sized arrays. Untouched
+// rows read as count 0 — exactly what the dense array would hold — and
+// resets are O(1) via the epoch stamp.
 type PerRow struct {
 	threshold uint32
 	epoch     uint32
-	stamped   []uint32 // epoch of last update per row
-	counts    []uint32
+	slots     []perRowSlot
+	mask      uint64
+	shift     uint
+	live      int // slots claimed in the current epoch
 	reports   uint64
 
 	mLookups *metrics.Counter
 	mReports *metrics.Counter
 }
 
+// perRowSlot holds one touched row. A slot is free iff its epoch differs
+// from the tracker's current epoch, so Reset (epoch++) frees every slot at
+// once without touching memory.
+type perRowSlot struct {
+	row   uint64
+	epoch uint32
+	count uint32
+}
+
+const perRowInitSlots = 1 << 10
+
 // NewPerRow builds an exact tracker over totalRows rows reporting at
-// threshold activations.
+// threshold activations. totalRows documents the modeled counter-array
+// size; storage is proportional to rows touched per window.
 func NewPerRow(threshold int, totalRows uint64) *PerRow {
 	if threshold < 1 {
 		threshold = 1
 	}
+	_ = totalRows
 	return &PerRow{
 		threshold: uint32(threshold),
 		epoch:     1,
-		stamped:   make([]uint32, totalRows),
-		counts:    make([]uint32, totalRows),
+		slots:     make([]perRowSlot, perRowInitSlots),
+		mask:      perRowInitSlots - 1,
+		shift:     64 - 10,
 	}
 }
 
@@ -177,16 +206,58 @@ func (t *PerRow) SetMetrics(r *metrics.Recorder) {
 	t.mReports = r.Counter("tracker_reports")
 }
 
+// slot returns the table entry for row, claiming a free slot on first touch
+// this epoch. Fibonacci hashing with linear probing; the probe path only
+// crosses slots live in the current epoch, so stale entries can be
+// reclaimed freely.
+func (t *PerRow) slot(row uint64) *perRowSlot {
+	if (t.live+1)*4 > len(t.slots)*3 {
+		t.grow()
+	}
+	i := (row * 0x9E3779B97F4A7C15) >> t.shift
+	for {
+		s := &t.slots[i]
+		if s.epoch != t.epoch {
+			s.row = row
+			s.epoch = t.epoch
+			s.count = 0
+			t.live++
+			return s
+		}
+		if s.row == row {
+			return s
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// grow doubles the table and reinserts only the current epoch's live
+// entries.
+func (t *PerRow) grow() {
+	old := t.slots
+	t.slots = make([]perRowSlot, 2*len(old))
+	t.mask = uint64(len(t.slots) - 1)
+	t.shift--
+	for oi := range old {
+		s := &old[oi]
+		if s.epoch != t.epoch {
+			continue
+		}
+		i := (s.row * 0x9E3779B97F4A7C15) >> t.shift
+		for t.slots[i].epoch == t.epoch {
+			i = (i + 1) & t.mask
+		}
+		t.slots[i] = *s
+	}
+}
+
 // RecordACT implements Tracker.
 func (t *PerRow) RecordACT(row uint64) bool {
 	t.mLookups.Inc()
-	if t.stamped[row] != t.epoch {
-		t.stamped[row] = t.epoch
-		t.counts[row] = 0
-	}
-	t.counts[row]++
-	if t.counts[row] >= t.threshold {
-		t.counts[row] = 0
+	s := t.slot(row)
+	s.count++
+	if s.count >= t.threshold {
+		s.count = 0
 		t.reports++
 		t.mReports.Inc()
 		return true
@@ -197,14 +268,30 @@ func (t *PerRow) RecordACT(row uint64) bool {
 // Count returns the current in-window count for a row (0 if untouched this
 // window). Used by BlockHammer's throttle decision.
 func (t *PerRow) Count(row uint64) uint32 {
-	if t.stamped[row] != t.epoch {
-		return 0
+	i := (row * 0x9E3779B97F4A7C15) >> t.shift
+	for {
+		s := &t.slots[i]
+		if s.epoch != t.epoch {
+			return 0
+		}
+		if s.row == row {
+			return s.count
+		}
+		i = (i + 1) & t.mask
 	}
-	return t.counts[row]
 }
 
 // Reset implements Tracker.
-func (t *PerRow) Reset() { t.epoch++ }
+func (t *PerRow) Reset() {
+	t.live = 0
+	t.epoch++
+	if t.epoch == 0 {
+		// Epoch wrapped: stale slots stamped 0 would read as live. Clear
+		// once per 2^32 windows.
+		clear(t.slots)
+		t.epoch = 1
+	}
+}
 
 // Reports returns the cumulative number of threshold reports.
 func (t *PerRow) Reports() uint64 { return t.reports }

@@ -148,6 +148,110 @@ func TestPerRowIndependentRows(t *testing.T) {
 	}
 }
 
+// densePerRow is the retired dense-array PerRow, kept as the differential
+// oracle for the open-addressed table: one stamped counter per row, exact
+// by construction.
+type densePerRow struct {
+	threshold uint32
+	epoch     uint32
+	stamped   []uint32
+	counts    []uint32
+}
+
+func newDensePerRow(threshold int, totalRows uint64) *densePerRow {
+	return &densePerRow{
+		threshold: uint32(threshold),
+		epoch:     1,
+		stamped:   make([]uint32, totalRows),
+		counts:    make([]uint32, totalRows),
+	}
+}
+
+func (t *densePerRow) recordACT(row uint64) bool {
+	if t.stamped[row] != t.epoch {
+		t.stamped[row] = t.epoch
+		t.counts[row] = 0
+	}
+	t.counts[row]++
+	if t.counts[row] >= t.threshold {
+		t.counts[row] = 0
+		return true
+	}
+	return false
+}
+
+func (t *densePerRow) count(row uint64) uint32 {
+	if t.stamped[row] != t.epoch {
+		return 0
+	}
+	return t.counts[row]
+}
+
+func (t *densePerRow) reset() { t.epoch++ }
+
+// TestPerRowDifferentialVsDense drives the flat table and the dense oracle
+// with an identical skewed stream — enough distinct rows to force several
+// table growths — and demands identical reports, counts, and window-reset
+// behavior.
+func TestPerRowDifferentialVsDense(t *testing.T) {
+	const totalRows = 1 << 16
+	flat := NewPerRow(5, totalRows)
+	dense := newDensePerRow(5, totalRows)
+	r := rng.NewXoshiro256(99)
+	for win := 0; win < 4; win++ {
+		for i := 0; i < 60_000; i++ {
+			var row uint64
+			if i%3 == 0 {
+				row = r.Uint64n(64) // hot set: drives threshold reports
+			} else {
+				row = r.Uint64n(totalRows)
+			}
+			if got, want := flat.RecordACT(row), dense.recordACT(row); got != want {
+				t.Fatalf("win %d event %d row %d: flat reported %v, dense %v", win, i, row, got, want)
+			}
+			if i%97 == 0 {
+				probe := r.Uint64n(totalRows)
+				if got, want := flat.Count(probe), dense.count(probe); got != want {
+					t.Fatalf("win %d event %d: Count(%d) = %d, dense %d", win, i, probe, got, want)
+				}
+			}
+		}
+		flat.Reset()
+		dense.reset()
+	}
+}
+
+// TestPerRowGrowthPreservesCounts fills past several load-factor doublings
+// within one window and checks every count survived the rehashes.
+func TestPerRowGrowthPreservesCounts(t *testing.T) {
+	trk := NewPerRow(1<<30, 1<<20)
+	const n = 10_000 // >> perRowInitSlots
+	for row := uint64(0); row < n; row++ {
+		for k := uint64(0); k <= row%3; k++ {
+			trk.RecordACT(row)
+		}
+	}
+	for row := uint64(0); row < n; row++ {
+		if got, want := trk.Count(row), uint32(row%3+1); got != want {
+			t.Fatalf("row %d count = %d, want %d", row, got, want)
+		}
+	}
+}
+
+func TestPerRowSteadyStateAllocFree(t *testing.T) {
+	trk := NewPerRow(1<<30, 1<<20)
+	for row := uint64(0); row < 4096; row++ {
+		trk.RecordACT(row)
+	}
+	row := uint64(0)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		trk.RecordACT(row & 4095)
+		row++
+	}); allocs != 0 {
+		t.Fatalf("RecordACT allocates %.1f objects per call on warmed table, want 0", allocs)
+	}
+}
+
 func TestTrackerInterfaceCompliance(t *testing.T) {
 	for _, trk := range []Tracker{NewMisraGries(4, 4), NewPerRow(4, 16)} {
 		if trk.Name() == "" {
