@@ -1,6 +1,6 @@
 # Convenience targets mirroring the CI jobs (.github/workflows/ci.yml).
 
-.PHONY: all build test race lint ci profile bench benchdiff
+.PHONY: all build test race lint ci profile bench benchdiff check-paranoid check-replay
 
 all: build test
 
@@ -36,6 +36,26 @@ bench:
 benchdiff:
 	go test -bench . -benchmem -benchtime 100ms -run '^$$' ./... \
 		| go run ./cmd/benchjson | go run ./cmd/benchdiff -baseline BENCH_sim.json
+
+# Paranoid-mode gate: the Figure-3 smoke sweep with the runtime invariant
+# checker attached to every simulation (sampled bijection spot-checks, ACT
+# conservation, refresh/tRC clocks, Rubix-D epoch completeness). Any
+# violation fails the run.
+check-paranoid:
+	go run ./cmd/experiments -exp fig3 -scale 0.004 -workloads mcf,xz \
+		-mixes=false -check paranoid
+
+# Differential-replay gate: metamorphic relations across whole runs.
+# mcf/coffeelake exercises seed-invariance + scale-linearity on a
+# deterministic mapping; mcf/rubixs-gs4 exercises the cipher-equivalence
+# relation (and correctly skips seed-invariance for a seed-keyed mapping).
+# -scale 0.01 is calibrated: smaller runs have too few accesses for the
+# default 5% drift tolerance (see internal/check.Tolerance).
+check-replay:
+	go run ./cmd/rubixsim -workload mcf -mapping coffeelake -mitigation none \
+		-trh 128 -scale 0.01 -cores 2 -check replay
+	go run ./cmd/rubixsim -workload mcf -mapping rubixs-gs4 -mitigation none \
+		-trh 128 -scale 0.01 -cores 2 -check replay
 
 # Profile a mid-size hot configuration: CPU profile and metrics snapshot
 # land in results/, and a live pprof + /metrics endpoint serves on :6060

@@ -84,11 +84,22 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "random seed")
 		jsonPath = flag.String("json", "", "also write the experiment's structured rows as JSON to this file")
 		progress = flag.Bool("progress", false, "print per-run progress to stderr and a timing table at the end")
+		checks   = flag.String("check", "", "runtime checking: 'paranoid' runs every simulation with invariant checks attached")
 	)
 	flag.Parse()
 
 	timer := &runTimer{progress: *progress}
-	opts := sim.Options{Scale: *scale, Seed: *seed, OnRunDone: timer.done}
+	// SeedSet: the -seed flag was resolved by flag.Parse, so even an explicit
+	// -seed 0 must be honored rather than remapped to the default.
+	opts := sim.Options{Scale: *scale, Seed: *seed, SeedSet: true, OnRunDone: timer.done}
+	switch *checks {
+	case "":
+	case "paranoid":
+		opts.Paranoid = true
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown -check mode %q (want paranoid)\n", *checks)
+		os.Exit(2)
+	}
 	if *wls != "" {
 		opts.Workloads = strings.Split(*wls, ",")
 	}

@@ -25,6 +25,7 @@ import (
 	"os"
 	"runtime/pprof"
 
+	"rubix/internal/check"
 	"rubix/internal/geom"
 	"rubix/internal/metrics"
 	"rubix/internal/sim"
@@ -43,6 +44,8 @@ func main() {
 		census   = flag.Bool("linecensus", false, "track activating lines per hot row")
 		hist     = flag.Bool("hist", false, "print the memory-latency distribution")
 
+		checkMode = flag.String("check", "", "runtime checking: 'paranoid' (in-run invariants) or 'replay' (metamorphic relations)")
+
 		showMetrics = flag.Bool("metrics", false, "print the metrics snapshot (text) after the run")
 		metricsJSON = flag.String("metrics-json", "", "write the metrics snapshot as JSON to this file (- for stdout)")
 		traceEvents = flag.Int("trace-events", 0, "keep the most recent N traced events in the metrics snapshot")
@@ -60,6 +63,36 @@ func main() {
 		g = geom.DDR4_32GB4Ch()
 	default:
 		fmt.Fprintf(os.Stderr, "rubixsim: unsupported channel count %d\n", *channels)
+		os.Exit(2)
+	}
+
+	var chk *check.Checker
+	switch *checkMode {
+	case "":
+	case "paranoid":
+		chk = check.New(check.Config{})
+	case "replay":
+		// Replay runs the whole configuration several times and compares
+		// structural counters; it replaces the normal single run.
+		opts := sim.Options{Scale: *scale, Cores: *cores, Seed: *seed, SeedSet: true, Geometry: g}
+		spec := sim.RunSpec{Workload: *wl, Mapping: *mapName, Mitigation: *mitName, TRH: *trh, LineCensus: *census}
+		results, err := sim.Replay(opts, spec, sim.ReplayOptions{})
+		for _, r := range results {
+			switch {
+			case r.Skipped != "":
+				fmt.Printf("replay %-20s SKIP (%s)\n", r.Name+":", r.Skipped)
+			case r.Err != nil:
+				fmt.Printf("replay %-20s FAIL: %v\n", r.Name+":", r.Err)
+			default:
+				fmt.Printf("replay %-20s PASS\n", r.Name+":")
+			}
+		}
+		if err != nil {
+			os.Exit(1)
+		}
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "rubixsim: unknown -check mode %q (want paranoid or replay)\n", *checkMode)
 		os.Exit(2)
 	}
 
@@ -116,6 +149,7 @@ func main() {
 		LineCensus:     *census,
 		LatencyHist:    *hist,
 		Metrics:        rec,
+		Check:          chk,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rubixsim:", err)
@@ -136,6 +170,9 @@ func main() {
 	fmt.Printf("watchdog:      %d rows exceeded TRH=%d\n", res.DRAM.TotalOverTRH(), *trh)
 	fmt.Printf("mitigations:   %d (%s), remap swaps: %d\n", res.Mitigations, res.Mitigation, res.RemapSwaps)
 	fmt.Printf("DRAM power:    %.0f mW\n", res.PowerMW)
+	if chk != nil {
+		fmt.Printf("paranoid:      %d checks, %d violations\n", chk.Checks(), len(chk.Violations()))
+	}
 
 	if *hist && res.DRAM.Latency != nil {
 		fmt.Printf("latency (ns):  %s\n", res.DRAM.Latency)

@@ -1,0 +1,207 @@
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"rubix/internal/core"
+	"rubix/internal/geom"
+	"rubix/internal/kcipher"
+)
+
+// RunStats is the structural-counter fingerprint of a finished run that the
+// metamorphic relations compare. Package sim extracts it from a Result.
+type RunStats struct {
+	Accesses   uint64
+	RowHits    uint64
+	DemandActs uint64
+	ExtraActs  uint64
+	Hot64      int // rows whose per-window ACT count ever exceeded 64
+	Hot512     int
+}
+
+// SeedRunner runs one full simulation at the given seed.
+type SeedRunner func(seed uint64) (RunStats, error)
+
+// ScaleRunner runs one full simulation at the given instructions per core.
+type ScaleRunner func(instrPerCore uint64) (RunStats, error)
+
+// Tolerance bounds how far metamorphic pairs may drift. Zero fields select
+// the defaults, which were calibrated against the committed workloads at the
+// smoke-sweep scale (see DESIGN §10).
+type Tolerance struct {
+	// Rel bounds relative drift of access/activation totals.
+	Rel float64
+	// HitRateAbs bounds absolute drift of the row-buffer hit rate.
+	HitRateAbs float64
+	// HotRel bounds relative drift of hot-row counts once either side
+	// exceeds HotSlack.
+	HotRel float64
+	// HotSlack is the absolute hot-row count below which HotRel is not
+	// applied (small counts are dominated by threshold effects).
+	HotSlack float64
+}
+
+func (t Tolerance) withDefaults() Tolerance {
+	if t.Rel == 0 {
+		t.Rel = 0.05
+	}
+	if t.HitRateAbs == 0 {
+		t.HitRateAbs = 0.05
+	}
+	if t.HotRel == 0 {
+		t.HotRel = 0.35
+	}
+	if t.HotSlack == 0 {
+		t.HotSlack = 8
+	}
+	return t
+}
+
+func relDrift(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) / den
+}
+
+func (s RunStats) hitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(s.Accesses)
+}
+
+// compare checks two runs' fingerprints under tol, after scaling the second
+// by factor (1 for same-scale comparisons). label names the relation in
+// error text.
+func compare(label string, a, b RunStats, factor float64, tol Tolerance) error {
+	type pair struct {
+		name string
+		x, y float64
+	}
+	counts := []pair{
+		{"accesses", float64(a.Accesses), factor * float64(b.Accesses)},
+		{"demand ACTs", float64(a.DemandActs), factor * float64(b.DemandActs)},
+	}
+	for _, p := range counts {
+		if d := relDrift(p.x, p.y); d > tol.Rel {
+			return fmt.Errorf("%s: %s drift %.3f exceeds %.3f (%.0f vs %.0f)", label, p.name, d, tol.Rel, p.x, p.y)
+		}
+	}
+	if d := math.Abs(a.hitRate() - b.hitRate()); d > tol.HitRateAbs {
+		return fmt.Errorf("%s: row-hit rate drift %.3f exceeds %.3f (%.3f vs %.3f)", label, d, tol.HitRateAbs, a.hitRate(), b.hitRate())
+	}
+	hots := []pair{
+		{"hot-64 rows", float64(a.Hot64), float64(b.Hot64)},
+		{"hot-512 rows", float64(a.Hot512), float64(b.Hot512)},
+	}
+	for _, p := range hots {
+		if p.x <= tol.HotSlack && p.y <= tol.HotSlack {
+			continue
+		}
+		if d := relDrift(p.x, p.y); d > tol.HotRel {
+			return fmt.Errorf("%s: %s drift %.3f exceeds %.3f (%.0f vs %.0f)", label, p.name, d, tol.HotRel, p.x, p.y)
+		}
+	}
+	return nil
+}
+
+// SeedInvariance verifies that a deterministic mapping's structural counters
+// do not depend on the RNG seed: the seed perturbs core interleaving but not
+// what the workload touches, so totals, the hit/miss mix, and hot-row counts
+// must agree within tol across the given seeds. Call it only for mappings
+// whose layout is not seed-keyed (Rubix mappings derive their cipher/XOR
+// keys from the seed, which legitimately moves rows around).
+func SeedInvariance(run SeedRunner, seeds []uint64, tol Tolerance) error {
+	if len(seeds) < 2 {
+		return fmt.Errorf("check: SeedInvariance needs at least 2 seeds, got %d", len(seeds))
+	}
+	tol = tol.withDefaults()
+	base, err := run(seeds[0])
+	if err != nil {
+		return fmt.Errorf("check: seed %d run: %w", seeds[0], err)
+	}
+	for _, s := range seeds[1:] {
+		st, err := run(s)
+		if err != nil {
+			return fmt.Errorf("check: seed %d run: %w", s, err)
+		}
+		if err := compare(fmt.Sprintf("seed-invariance (seed %d vs %d)", seeds[0], s), base, st, 1, tol); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScaleLinearity verifies that structural counters grow linearly in
+// InstrPerCore: a run at baseInstr*factor must look like factor stacked
+// copies of the base run, within tol. Sub-linear activations (better
+// row-buffer amortization at longer runs) are within tolerance by
+// construction; gross violations indicate state leaking across what should
+// be a memoryless steady state.
+func ScaleLinearity(run ScaleRunner, baseInstr uint64, factor int, tol Tolerance) error {
+	if factor < 2 {
+		return fmt.Errorf("check: ScaleLinearity needs factor >= 2, got %d", factor)
+	}
+	tol = tol.withDefaults()
+	base, err := run(baseInstr)
+	if err != nil {
+		return fmt.Errorf("check: base run (%d instr): %w", baseInstr, err)
+	}
+	big, err := run(baseInstr * uint64(factor))
+	if err != nil {
+		return fmt.Errorf("check: scaled run (%d instr): %w", baseInstr*uint64(factor), err)
+	}
+	return compare(fmt.Sprintf("scale-linearity (×%d)", factor), big, base, float64(factor), tol)
+}
+
+// CipherEquivalence verifies the Rubix-S degenerate case: at gang size 1 the
+// mapping must be exactly the K-Cipher permutation over the full line-address
+// width, and composing the geometry decode with its encode must be the
+// identity on the mapped output. Domains up to 2^20 lines are checked
+// exhaustively; larger ones deterministically sampled.
+func CipherEquivalence(g geom.Geometry, seed uint64, samples int) error {
+	key := kcipher.KeyFromSeed(seed)
+	m, err := core.NewRubixS(g, 1, key)
+	if err != nil {
+		return fmt.Errorf("check: CipherEquivalence: %w", err)
+	}
+	c, err := kcipher.New(g.LineBits(), key)
+	if err != nil {
+		return fmt.Errorf("check: CipherEquivalence: %w", err)
+	}
+	if samples <= 0 {
+		samples = 1 << 16
+	}
+	total := g.TotalLines()
+	verify := func(x uint64) error {
+		phys := m.Map(x)
+		if enc := c.Encrypt(x); phys != enc {
+			return fmt.Errorf("check: Rubix-S(GS1).Map(%#x) = %#x, raw cipher gives %#x", x, phys, enc)
+		}
+		if back := m.Unmap(phys); back != x {
+			return fmt.Errorf("check: Rubix-S(GS1).Unmap(Map(%#x)) = %#x", x, back)
+		}
+		if re := g.Encode(g.Decode(phys)); re != phys {
+			return fmt.Errorf("check: geometry Encode(Decode(%#x)) = %#x", phys, re)
+		}
+		return nil
+	}
+	if total <= 1<<20 {
+		for x := uint64(0); x < total; x++ {
+			if err := verify(x); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	mask := total - 1
+	for i := 0; i < samples; i++ {
+		if err := verify(uint64(i) * 0x9e37_79b9_7f4a_7c15 & mask); err != nil {
+			return err
+		}
+	}
+	return nil
+}

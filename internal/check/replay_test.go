@@ -1,0 +1,86 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeedInvarianceAcceptsStableRunner(t *testing.T) {
+	run := func(seed uint64) (RunStats, error) {
+		// Small seed-dependent jitter, well inside the default tolerances.
+		return RunStats{Accesses: 100_000 + seed, RowHits: 60_000, DemandActs: 40_000, Hot64: 12}, nil
+	}
+	if err := SeedInvariance(run, []uint64{1, 2, 3}, Tolerance{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeedInvarianceRejectsDrift(t *testing.T) {
+	run := func(seed uint64) (RunStats, error) {
+		return RunStats{Accesses: 100_000 * seed, RowHits: 60_000, DemandActs: 40_000}, nil
+	}
+	err := SeedInvariance(run, []uint64{1, 2}, Tolerance{})
+	if err == nil || !strings.Contains(err.Error(), "accesses") {
+		t.Fatalf("want accesses drift, got %v", err)
+	}
+}
+
+func TestSeedInvarianceRejectsHitRateDrift(t *testing.T) {
+	run := func(seed uint64) (RunStats, error) {
+		s := RunStats{Accesses: 100_000, DemandActs: 40_000}
+		s.RowHits = 60_000
+		if seed != 1 {
+			s.RowHits = 30_000
+		}
+		return s, nil
+	}
+	err := SeedInvariance(run, []uint64{1, 2}, Tolerance{})
+	if err == nil || !strings.Contains(err.Error(), "hit rate") {
+		t.Fatalf("want hit-rate drift, got %v", err)
+	}
+}
+
+func TestSeedInvarianceNeedsTwoSeeds(t *testing.T) {
+	run := func(uint64) (RunStats, error) { return RunStats{}, nil }
+	if err := SeedInvariance(run, []uint64{1}, Tolerance{}); err == nil {
+		t.Fatal("single seed accepted")
+	}
+}
+
+func TestScaleLinearityAcceptsLinearRunner(t *testing.T) {
+	run := func(instr uint64) (RunStats, error) {
+		return RunStats{Accesses: instr / 10, RowHits: instr / 20, DemandActs: instr / 40}, nil
+	}
+	if err := ScaleLinearity(run, 100_000, 4, Tolerance{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleLinearityRejectsSuperlinear(t *testing.T) {
+	run := func(instr uint64) (RunStats, error) {
+		// Activations grow quadratically: state leaking across the run.
+		return RunStats{Accesses: instr / 10, DemandActs: instr * instr / 1_000_000}, nil
+	}
+	err := ScaleLinearity(run, 100_000, 4, Tolerance{})
+	if err == nil || !strings.Contains(err.Error(), "ACTs") {
+		t.Fatalf("want ACT drift, got %v", err)
+	}
+}
+
+func TestHotRowSlackIgnoresSmallCounts(t *testing.T) {
+	run := func(seed uint64) (RunStats, error) {
+		s := RunStats{Accesses: 100_000, RowHits: 50_000, DemandActs: 50_000}
+		s.Hot64 = int(seed) // 1 vs 2: 100% relative drift, but tiny counts
+		return s, nil
+	}
+	if err := SeedInvariance(run, []uint64{1, 2}, Tolerance{}); err != nil {
+		t.Fatalf("sub-slack hot-row drift flagged: %v", err)
+	}
+}
+
+func TestCipherEquivalenceSmallGeometry(t *testing.T) {
+	g := smallGeom(t) // 1024 lines: exhaustive
+	if err := CipherEquivalence(g, 42, 0); err != nil {
+		t.Fatal(err)
+	}
+}

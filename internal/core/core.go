@@ -144,6 +144,7 @@ type RubixD struct {
 	rng       *rng.Xoshiro256
 	swaps     uint64 // total swap operations performed
 	skips     uint64 // remap events skipped (already-remapped location)
+	obs       RemapObserver
 
 	mSwaps *metrics.Counter
 	mSkips *metrics.Counter
@@ -234,6 +235,33 @@ func (d *RubixD) GangSize() int { return d.gangSize }
 func (d *RubixD) SetMetrics(r *metrics.Recorder) {
 	d.mSwaps = r.Counter("rubixd_remap_episodes")
 	d.mSkips = r.Counter("rubixd_remap_skips")
+}
+
+// RemapObserver is notified after every remap episode. group is the circuit
+// index (vgroup<<segBits | segment, matching Groups()); ptr is the circuit's
+// pointer AFTER the episode; rolled reports that the episode completed an
+// epoch (ptr wrapped to zero with nextKey folded into currKey). Package
+// check implements it for epoch-completeness verification.
+type RemapObserver interface {
+	OnRemapStep(group int, ptr uint64, rolled bool)
+}
+
+// SetRemapObserver installs o; pass nil to detach. Observation is pull-free
+// and does not perturb the mapping or its RNG.
+func (d *RubixD) SetRemapObserver(o RemapObserver) { d.obs = o }
+
+// RowAddrBits reports the per-circuit row-address width in bits.
+func (d *RubixD) RowAddrBits() uint { return d.rowBits }
+
+// TranslateGroup applies circuit group's current translation to a circuit-
+// local row address (masked into domain). Exposed for invariant checking.
+func (d *RubixD) TranslateGroup(group int, rowAddr uint64) uint64 {
+	return translate(&d.groups[group], rowAddr&d.rowMask)
+}
+
+// UntranslateGroup inverts TranslateGroup for the same circuit state.
+func (d *RubixD) UntranslateGroup(group int, rowAddr uint64) uint64 {
+	return untranslate(&d.groups[group], rowAddr&d.rowMask)
 }
 
 // split decomposes a line address into (rowAddr, segment, vgroup, lineInGang).
@@ -344,12 +372,17 @@ func (d *RubixD) remapStep(vgroup, seg uint64) (op SwapOp, ok bool) {
 		d.mSkips.Inc()
 	}
 	gs.ptr++
+	rolled := false
 	if gs.ptr == uint64(1)<<d.rowBits {
 		// Epoch complete: fold nextKey into currKey, draw a fresh key.
 		gs.currKey ^= gs.nextKey
 		gs.nextKey = d.rng.Next() & d.rowMask
 		gs.ptr = 0
 		gs.epochs++
+		rolled = true
+	}
+	if d.obs != nil {
+		d.obs.OnRemapStep(int(vgroup<<d.segBits|seg), gs.ptr, rolled)
 	}
 	return op, swapped
 }

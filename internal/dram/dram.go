@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"rubix/internal/check"
 	"rubix/internal/geom"
 	"rubix/internal/metrics"
 	"rubix/internal/stats"
@@ -205,6 +206,9 @@ type Module struct {
 	mMisses    *metrics.Counter
 	mConflicts *metrics.Counter
 	mWriteCAS  *metrics.Counter
+
+	// chk is the paranoid-mode invariant checker; nil when checking is off.
+	chk *check.Checker
 }
 
 // Config configures a Module.
@@ -216,6 +220,9 @@ type Config struct {
 	LatencyHist bool // collect the per-access latency distribution
 	// Metrics, when non-nil, receives per-access counters and trace events.
 	Metrics *metrics.Recorder
+	// Check, when non-nil, receives census-conservation and per-bank
+	// timing (tRC, tREFI) events.
+	Check *check.Checker
 }
 
 // New builds a DRAM module.
@@ -247,6 +254,7 @@ func New(cfg Config) *Module {
 	m.mMisses = cfg.Metrics.Counter("dram_row_misses")
 	m.mConflicts = cfg.Metrics.Counter("dram_row_conflicts")
 	m.mWriteCAS = cfg.Metrics.Counter("dram_write_cas")
+	m.chk = cfg.Check
 	return m
 }
 
@@ -262,7 +270,8 @@ func (m *Module) Access(phys uint64, earliest float64) AccessResult {
 func (m *Module) AccessRW(phys uint64, earliest float64, write bool) AccessResult {
 	row := m.Geom.GlobalRow(phys)
 	slot := m.Geom.Slot(phys)
-	bank := &m.banks[m.Geom.BankID(row)]
+	bi := m.Geom.BankID(row)
+	bank := &m.banks[bi]
 	ch := m.Geom.ChannelOf(row)
 
 	// Periodic refresh: catch up on any refreshes due before this access.
@@ -283,6 +292,9 @@ func (m *Module) AccessRW(phys uint64, earliest float64, write bool) AccessResul
 				bank.readyAt = end
 			}
 			bank.openRow = -1 // refresh closes the row
+			if m.chk != nil {
+				m.chk.OnRefresh(bi, bank.nextRefresh, m.Timing.TREFI)
+			}
 			bank.nextRefresh += m.Timing.TREFI
 		}
 	}
@@ -327,6 +339,9 @@ func (m *Module) AccessRW(phys uint64, earliest float64, write bool) AccessResul
 		bank.openAccesses = 0
 		res.Activated = true
 		res.ActStart = actStart
+		if m.chk != nil {
+			m.chk.OnBankACT(bi, actStart, m.Timing.TRC)
+		}
 		m.recordACT(row, slot, actStart, true)
 	}
 
@@ -411,6 +426,11 @@ func (m *Module) recordACT(row uint64, slot int, at float64, demand bool) {
 	}
 	idx := m.census.get(row)
 	m.census.slots[idx].acts++
+	// Placed after the window roll so that, at every window close, the
+	// cumulative offered counts equal the cumulative table sums exactly.
+	if m.chk != nil {
+		m.chk.OnCensusACT(demand)
+	}
 	if m.lineCensus && slot >= 0 {
 		m.census.lines[idx][slot>>6] |= 1 << (uint(slot) & 63)
 	}
@@ -425,6 +445,7 @@ func (m *Module) rollWindow() {
 
 func (m *Module) finalizeWindow() {
 	w := WindowStats{Start: m.stats.currentStart, UniqueRows: m.census.len()}
+	var tableActs uint64
 	// Linear slot walk: table order is a pure function of the insertion
 	// history, so this is deterministic (and every field is
 	// order-independent anyway).
@@ -433,6 +454,7 @@ func (m *Module) finalizeWindow() {
 		if rc.epoch != m.census.epoch {
 			continue
 		}
+		tableActs += uint64(rc.acts)
 		if rc.acts > w.MaxActs {
 			w.MaxActs = rc.acts
 		}
@@ -458,6 +480,9 @@ func (m *Module) finalizeWindow() {
 		if m.trh > 0 && rc.acts > uint32(m.trh) {
 			w.OverTRH++
 		}
+	}
+	if m.chk != nil {
+		m.chk.OnWindowClose(tableActs)
 	}
 	if w.UniqueRows > 0 || len(m.stats.Windows) == 0 {
 		m.stats.Windows = append(m.stats.Windows, w)

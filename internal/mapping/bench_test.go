@@ -20,7 +20,13 @@ func benchMapper(b *testing.B, m Mapper) {
 
 func BenchmarkMapSequential(b *testing.B) { benchMapper(b, NewSequential()) }
 
-func BenchmarkMapCoffeeLake(b *testing.B) { benchMapper(b, NewCoffeeLake(geom.DDR4_16GB())) }
+func BenchmarkMapCoffeeLake(b *testing.B) {
+	m, err := NewCoffeeLake(geom.DDR4_16GB())
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchMapper(b, m)
+}
 
 func BenchmarkMapSkylake(b *testing.B) {
 	m, err := NewSkylake(geom.DDR4_16GB())
@@ -30,7 +36,13 @@ func BenchmarkMapSkylake(b *testing.B) {
 	benchMapper(b, m)
 }
 
-func BenchmarkMapMOP(b *testing.B) { benchMapper(b, NewMOP(geom.DDR4_16GB())) }
+func BenchmarkMapMOP(b *testing.B) {
+	m, err := NewMOP(geom.DDR4_16GB())
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchMapper(b, m)
+}
 
 func BenchmarkMapLargeStride(b *testing.B) {
 	m, err := NewLargeStride(geom.DDR4_16GB(), 4)

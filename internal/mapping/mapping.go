@@ -32,6 +32,21 @@ type Inverter interface {
 	Unmap(phys uint64) uint64
 }
 
+// validateGeometry rejects geometries the baseline mappers silently
+// mis-handle: rowBits truncates a non-power-of-two RowsPerBank (dropping
+// rows from the address space, so the "bijection" loses range), and the
+// selBits arithmetic assumes LineBits splits exactly into slot + select +
+// row bits.
+func validateGeometry(g geom.Geometry) error {
+	if g.RowsPerBank <= 0 || g.RowsPerBank&(g.RowsPerBank-1) != 0 {
+		return fmt.Errorf("mapping: RowsPerBank must be a positive power of two, got %d", g.RowsPerBank)
+	}
+	if g.LineBits() < g.SlotBits()+uint(rowBits(g)) {
+		return fmt.Errorf("mapping: geometry %v has fewer line bits than slot+row bits", g)
+	}
+	return nil
+}
+
 // xorFold XORs the bits of v above width down onto the low width bits,
 // producing a simple XOR-hash as used by Intel bank-selection functions.
 func xorFold(v uint64, width uint) uint64 {
@@ -80,13 +95,16 @@ type CoffeeLake struct {
 }
 
 // NewCoffeeLake builds the Coffee Lake mapping for geometry g.
-func NewCoffeeLake(g geom.Geometry) *CoffeeLake {
+func NewCoffeeLake(g geom.Geometry) (*CoffeeLake, error) {
+	if err := validateGeometry(g); err != nil {
+		return nil, err
+	}
 	return &CoffeeLake{
 		g:        g,
 		selBits:  g.LineBits() - g.SlotBits() - uint(rowBits(g)),
 		selMask:  uint64(g.BanksTotal()) - 1,
 		slotBits: g.SlotBits(),
-	}
+	}, nil
 }
 
 func rowBits(g geom.Geometry) int {
@@ -132,6 +150,9 @@ type Skylake struct {
 // have at least two total banks and 128-line rows (the configuration the
 // mapping was reverse-engineered on).
 func NewSkylake(g geom.Geometry) (*Skylake, error) {
+	if err := validateGeometry(g); err != nil {
+		return nil, err
+	}
 	if g.BanksTotal() < 2 {
 		return nil, fmt.Errorf("mapping: Skylake requires >= 2 banks, geometry has %d", g.BanksTotal())
 	}
@@ -206,14 +227,22 @@ type MOP struct {
 	gangBits uint // log2 lines per MOP gang (= 2)
 }
 
-// NewMOP builds the MOP mapping for geometry g.
-func NewMOP(g geom.Geometry) *MOP {
+// NewMOP builds the MOP mapping for geometry g. Rows must hold at least one
+// full MOP gang (4 lines): with fewer, gangsPerRow (slotBits - gangBits)
+// would underflow its uint and Map would produce a garbage non-bijection.
+func NewMOP(g geom.Geometry) (*MOP, error) {
+	if err := validateGeometry(g); err != nil {
+		return nil, err
+	}
+	if g.LinesPerRow() < 4 {
+		return nil, fmt.Errorf("mapping: MOP requires >= 4 lines per row, geometry has %d", g.LinesPerRow())
+	}
 	return &MOP{
 		g:        g,
 		selBits:  g.LineBits() - g.SlotBits() - uint(rowBits(g)),
 		slotBits: g.SlotBits(),
 		gangBits: 2,
-	}
+	}, nil
 }
 
 // Name implements Mapper.
@@ -270,6 +299,9 @@ type LargeStride struct {
 // lines (1, 2, or 4). Like the Intel mappings it keeps an XOR-based bank
 // hash, so strided patterns do not serialize on one bank.
 func NewLargeStride(g geom.Geometry, gangSize int) (*LargeStride, error) {
+	if err := validateGeometry(g); err != nil {
+		return nil, err
+	}
 	gb, err := gangBitsFor(gangSize)
 	if err != nil {
 		return nil, err

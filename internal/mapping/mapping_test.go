@@ -7,6 +7,24 @@ import (
 	"rubix/internal/geom"
 )
 
+func mustCoffeeLake(t testing.TB, g geom.Geometry) *CoffeeLake {
+	t.Helper()
+	m, err := NewCoffeeLake(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustMOP(t testing.TB, g geom.Geometry) *MOP {
+	t.Helper()
+	m, err := NewMOP(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 func allMappers(t *testing.T, g geom.Geometry) []Mapper {
 	t.Helper()
 	sky, err := NewSkylake(g)
@@ -23,9 +41,9 @@ func allMappers(t *testing.T, g geom.Geometry) []Mapper {
 	}
 	return []Mapper{
 		NewSequential(),
-		NewCoffeeLake(g),
+		mustCoffeeLake(t, g),
 		sky,
-		NewMOP(g),
+		mustMOP(t, g),
 		ls1,
 		ls4,
 	}
@@ -69,7 +87,7 @@ func TestBijectionDense(t *testing.T) {
 func TestCoffeeLakeRowPlacement(t *testing.T) {
 	// §2.3: 128 consecutive lines (two 4 KB pages) share a row.
 	g := geom.DDR4_16GB()
-	m := NewCoffeeLake(g)
+	m := mustCoffeeLake(t, g)
 	for block := uint64(0); block < 64; block++ {
 		base := block * 128
 		row := g.GlobalRow(m.Map(base))
@@ -87,7 +105,7 @@ func TestCoffeeLakeRowPlacement(t *testing.T) {
 func TestCoffeeLakeBankHashSpreadsBlocks(t *testing.T) {
 	// Consecutive 128-line blocks should spread across banks.
 	g := geom.DDR4_16GB()
-	m := NewCoffeeLake(g)
+	m := mustCoffeeLake(t, g)
 	banks := map[int]bool{}
 	for block := uint64(0); block < 16; block++ {
 		banks[g.Decode(m.Map(block*128)).Bank] = true
@@ -148,7 +166,7 @@ func TestMOPFourLinesPerPagePerRow(t *testing.T) {
 	// §7.1: MOP places only four lines of a 4 KB page in the same row, but
 	// gangs at the same offset of consecutive pages co-reside.
 	g := geom.DDR4_16GB()
-	m := NewMOP(g)
+	m := mustMOP(t, g)
 	pageRows := map[uint64]int{}
 	for i := uint64(0); i < 64; i++ { // one page
 		pageRows[g.GlobalRow(m.Map(i))]++
@@ -226,5 +244,141 @@ func TestXorFold(t *testing.T) {
 	}
 	if xorFold(0xABCD, 0) != 0 {
 		t.Fatal("zero width must fold to 0")
+	}
+}
+
+// --- cross-mapper bijection/involution property table -------------------------
+//
+// Every mapper × {baseline, small, 2^20-line, adversarial} geometry:
+// exhaustive bijection verification where the line space is <= 2^20,
+// deterministic sampling above, explicit rejection where the mapper cannot
+// support the geometry. The sub-4-line geometry is the regression for the
+// MOP gangsPerRow uint underflow: before validation, NewMOP accepted it and
+// produced a non-bijective garbage mapping.
+func TestCrossMapperBijectionPropertyTable(t *testing.T) {
+	mustGeom := func(ch, rk, bk, rows, rowB, lineB int) geom.Geometry {
+		t.Helper()
+		g, err := geom.New(ch, rk, bk, rows, rowB, lineB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	geoms := []struct {
+		name string
+		g    geom.Geometry
+	}{
+		{"baseline-16GB", geom.DDR4_16GB()},                    // 2^28 lines, sampled
+		{"small-1Ki", mustGeom(1, 1, 2, 64, 512, 64)},          // 2^10 lines, exhaustive
+		{"pow20-64MiB", mustGeom(1, 1, 16, 512, 8192, 64)},     // 2^20 lines, exhaustive
+		{"odd-2ch-64Ki", mustGeom(2, 1, 8, 128, 2048, 64)},     // 2^16 lines, exhaustive
+		{"sub4-lines-per-row", mustGeom(1, 1, 2, 32, 128, 64)}, // 2 lines/row: MOP+Skylake reject
+	}
+	// rejects names the geometries each constructor must refuse.
+	mappers := []struct {
+		name    string
+		build   func(g geom.Geometry) (Mapper, error)
+		rejects map[string]bool
+	}{
+		{"sequential", func(g geom.Geometry) (Mapper, error) { return NewSequential(), nil }, nil},
+		{"coffeelake", func(g geom.Geometry) (Mapper, error) { return NewCoffeeLake(g) }, nil},
+		{"skylake", func(g geom.Geometry) (Mapper, error) { return NewSkylake(g) },
+			map[string]bool{"sub4-lines-per-row": true}},
+		{"mop", func(g geom.Geometry) (Mapper, error) { return NewMOP(g) },
+			map[string]bool{"sub4-lines-per-row": true}},
+		{"largestride-gs1", func(g geom.Geometry) (Mapper, error) { return NewLargeStride(g, 1) }, nil},
+		{"largestride-gs4", func(g geom.Geometry) (Mapper, error) { return NewLargeStride(g, 4) },
+			map[string]bool{"sub4-lines-per-row": true}},
+	}
+	for _, ge := range geoms {
+		for _, mc := range mappers {
+			t.Run(mc.name+"/"+ge.name, func(t *testing.T) {
+				m, err := mc.build(ge.g)
+				if mc.rejects[ge.name] {
+					if err == nil {
+						t.Fatalf("%s must reject geometry %v", mc.name, ge.g)
+					}
+					return
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				verifyBijection(t, m, ge.g)
+			})
+		}
+	}
+}
+
+// verifyBijection checks that m is a bijection over [0, TotalLines()):
+// exhaustively (with a seen-bitmap, so collisions are caught, not just
+// round-trip failures) when the space is <= 2^20 lines, sampled above.
+func verifyBijection(t *testing.T, m Mapper, g geom.Geometry) {
+	t.Helper()
+	inv, ok := m.(Inverter)
+	if !ok {
+		t.Fatalf("%s does not implement Inverter", m.Name())
+	}
+	total := g.TotalLines()
+	if total <= 1<<20 {
+		seen := make([]bool, total)
+		for line := uint64(0); line < total; line++ {
+			phys := m.Map(line)
+			if phys >= total {
+				t.Fatalf("%s: Map(%#x) = %#x escapes [0, %#x)", m.Name(), line, phys, total)
+			}
+			if seen[phys] {
+				t.Fatalf("%s: physical line %#x hit twice (line %#x)", m.Name(), phys, line)
+			}
+			seen[phys] = true
+			if back := inv.Unmap(phys); back != line {
+				t.Fatalf("%s: Unmap(Map(%#x)) = %#x", m.Name(), line, back)
+			}
+		}
+		return
+	}
+	mask := total - 1
+	for i := uint64(0); i < 1<<16; i++ {
+		line := i * 0x9e37_79b9_7f4a_7c15 & mask
+		phys := m.Map(line)
+		if phys >= total {
+			t.Fatalf("%s: Map(%#x) = %#x escapes [0, %#x)", m.Name(), line, phys, total)
+		}
+		if back := inv.Unmap(phys); back != line {
+			t.Fatalf("%s: Unmap(Map(%#x)) = %#x", m.Name(), line, back)
+		}
+	}
+}
+
+// TestXORMappersAreInvolutions: Sequential and CoffeeLake translate by
+// XOR-ing a function of untouched bits, so Map is its own inverse.
+func TestXORMappersAreInvolutions(t *testing.T) {
+	g := geom.DDR4_16GB()
+	for _, m := range []Mapper{NewSequential(), mustCoffeeLake(t, g)} {
+		mask := g.TotalLines() - 1
+		for i := uint64(0); i < 1<<14; i++ {
+			line := i * 0x9e37_79b9_7f4a_7c15 & mask
+			if m.Map(m.Map(line)) != line {
+				t.Fatalf("%s: Map(Map(%#x)) != identity", m.Name(), line)
+			}
+		}
+	}
+}
+
+// TestRejectNonPowerOfTwoRows: rowBits silently truncates a non-power-of-two
+// RowsPerBank, so every validated constructor must reject it.
+func TestRejectNonPowerOfTwoRows(t *testing.T) {
+	g := geom.DDR4_16GB()
+	g.RowsPerBank = 3000 // mutate a copy: geom.New would refuse this
+	if _, err := NewCoffeeLake(g); err == nil {
+		t.Fatal("CoffeeLake accepted non-power-of-two RowsPerBank")
+	}
+	if _, err := NewSkylake(g); err == nil {
+		t.Fatal("Skylake accepted non-power-of-two RowsPerBank")
+	}
+	if _, err := NewMOP(g); err == nil {
+		t.Fatal("MOP accepted non-power-of-two RowsPerBank")
+	}
+	if _, err := NewLargeStride(g, 4); err == nil {
+		t.Fatal("LargeStride accepted non-power-of-two RowsPerBank")
 	}
 }

@@ -6,6 +6,7 @@
 package memctrl
 
 import (
+	"rubix/internal/check"
 	"rubix/internal/core"
 	"rubix/internal/dram"
 	"rubix/internal/mapping"
@@ -39,6 +40,10 @@ type Controller struct {
 	rec        *metrics.Recorder
 	mAccesses  *metrics.Counter
 	mRemapSwap *metrics.Counter
+
+	// chk is the paranoid-mode invariant checker; nil when checking is off
+	// (the hooks below are branch-only no-ops then).
+	chk *check.Checker
 }
 
 // Config configures a Controller.
@@ -55,6 +60,9 @@ type Config struct {
 	WriteFraction float64
 	// Metrics, when non-nil, receives controller counters and swap events.
 	Metrics *metrics.Recorder
+	// Check, when non-nil, receives sampled mapping spot-checks and
+	// demand-activation counts for conservation verification.
+	Check *check.Checker
 }
 
 // New builds a controller. If the mapper implements Dynamic (Rubix-D), its
@@ -76,6 +84,7 @@ func New(cfg Config) *Controller {
 	c.rec = cfg.Metrics
 	c.mAccesses = cfg.Metrics.Counter("memctrl_accesses")
 	c.mRemapSwap = cfg.Metrics.Counter("memctrl_remap_swaps")
+	c.chk = cfg.Check
 	return c
 }
 
@@ -89,6 +98,9 @@ func (c *Controller) Access(line uint64, arrival float64) float64 {
 	}
 
 	phys := c.Map.Map(line)
+	if c.chk != nil {
+		c.chk.OnMap(line, phys)
+	}
 	arrival += c.mapLatency
 
 	// Row-migration indirection (AQUA/SRS): redirect to the row's current
@@ -118,6 +130,9 @@ func (c *Controller) Access(line uint64, arrival float64) float64 {
 
 	res := c.DRAM.AccessRW(phys, start, write)
 	if res.Activated {
+		if c.chk != nil {
+			c.chk.OnControllerACT()
+		}
 		c.Mit.OnACT(cur, res.ActStart)
 		if c.dyn != nil {
 			if op, ok := c.dyn.NoteActivation(phys); ok {

@@ -16,13 +16,22 @@ func newCtl(t *testing.T, m mapping.Mapper, mit mitigation.Mitigator, d *dram.Mo
 	return New(Config{DRAM: d, Map: m, Mit: mit})
 }
 
+func coffeeLake(t *testing.T, g geom.Geometry) *mapping.CoffeeLake {
+	t.Helper()
+	m, err := mapping.NewCoffeeLake(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 func baseDRAM(trh int) *dram.Module {
 	return dram.New(dram.Config{Geometry: geom.DDR4_16GB(), Timing: dram.DDR4_2400(), TRH: trh})
 }
 
 func TestAccessCompletes(t *testing.T) {
 	d := baseDRAM(128)
-	c := newCtl(t, mapping.NewCoffeeLake(d.Geom), mitigation.NewNone(), d)
+	c := newCtl(t, coffeeLake(t, d.Geom), mitigation.NewNone(), d)
 	done := c.Access(0, 0)
 	if done <= 0 {
 		t.Fatal("no latency modelled")
@@ -34,7 +43,7 @@ func TestAccessCompletes(t *testing.T) {
 
 func TestSpatialLocalityHitsUnderCoffeeLake(t *testing.T) {
 	d := baseDRAM(128)
-	c := newCtl(t, mapping.NewCoffeeLake(d.Geom), mitigation.NewNone(), d)
+	c := newCtl(t, coffeeLake(t, d.Geom), mitigation.NewNone(), d)
 	now := 0.0
 	for line := uint64(0); line < 64; line++ {
 		now = c.Access(line, now)
@@ -210,7 +219,7 @@ func TestWriteFractionMarksWrites(t *testing.T) {
 
 func TestStaticMapperHasNoDynamicHook(t *testing.T) {
 	d := baseDRAM(128)
-	c := newCtl(t, mapping.NewCoffeeLake(d.Geom), mitigation.NewNone(), d)
+	c := newCtl(t, coffeeLake(t, d.Geom), mitigation.NewNone(), d)
 	now := 0.0
 	for i := uint64(0); i < 1000; i++ {
 		now = c.Access(i*131, now)

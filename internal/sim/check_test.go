@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"rubix/internal/check"
+	"rubix/internal/dram"
+	"rubix/internal/geom"
+	"rubix/internal/workload"
+)
+
+// runParanoid executes one small simulation with a fresh paranoid checker
+// attached and fails the test on any violation.
+func runParanoid(t *testing.T, mapName, mitName string, timing dram.Timing) *check.Checker {
+	t.Helper()
+	g := geom.DDR4_16GB()
+	profiles, err := ResolveWorkload("xz", 2, g, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := check.New(check.Config{SampleEvery: 8})
+	_, err = Run(Config{
+		Geometry:       g,
+		Timing:         timing,
+		TRH:            128,
+		MappingName:    mapName,
+		MitigationName: mitName,
+		Workloads:      profiles,
+		InstrPerCore:   2_000_000,
+		Seed:           42,
+		Check:          chk,
+	})
+	if err != nil {
+		t.Fatalf("%s/%s: %v", mapName, mitName, err)
+	}
+	if chk.Checks() == 0 {
+		t.Fatalf("%s/%s: paranoid mode ran no checks", mapName, mitName)
+	}
+	return chk
+}
+
+func TestParanoidCleanAcrossMappings(t *testing.T) {
+	for _, mapName := range []string{
+		"sequential", "coffeelake", "skylake", "mop",
+		"largestride-gs4", "rubixs-gs4", "staticxor-gs4",
+	} {
+		runParanoid(t, mapName, "none", dram.Timing{})
+	}
+}
+
+func TestParanoidCleanUnderMitigations(t *testing.T) {
+	for _, mit := range []string{"aqua", "srs", "blockhammer", "trr", "para"} {
+		runParanoid(t, "coffeelake", mit, dram.Timing{})
+	}
+}
+
+func TestParanoidCleanWithRefreshTiming(t *testing.T) {
+	runParanoid(t, "coffeelake", "none", dram.DDR4_2400().WithRefresh())
+}
+
+func TestParanoidCleanRubixD(t *testing.T) {
+	// Rubix-D exercises the remap-observer path (window flushes + sampled
+	// group round-trips); epoch rolls need far longer runs, which the
+	// dedicated check-package test covers on a tiny geometry.
+	runParanoid(t, "rubixd-gs4", "none", dram.Timing{})
+}
+
+// collidingMapper folds the whole address space onto 4096 physical lines —
+// a bijection violation only runtime checking can see (it enters Run as a
+// plain Mapper, so construction-time validation never runs). Any workload
+// touching > 4096 distinct lines collides by pigeonhole, since the checker
+// window holds more sampled pairs than the folded space.
+type collidingMapper struct{}
+
+func (collidingMapper) Name() string           { return "Colliding" }
+func (collidingMapper) Map(line uint64) uint64 { return line & 0xFFF }
+
+func TestParanoidCatchesCollidingMapper(t *testing.T) {
+	g := geom.DDR4_16GB()
+	profiles, err := ResolveWorkload("mcf", 2, g, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := check.New(check.Config{SampleEvery: 1, WindowLines: 1 << 16})
+	_, err = Run(Config{
+		Geometry:       g,
+		TRH:            128,
+		MitigationName: "none",
+		CustomMapper:   collidingMapper{},
+		Workloads:      profiles,
+		InstrPerCore:   2_000_000,
+		Seed:           42,
+		Check:          chk,
+	})
+	if err == nil || !strings.Contains(err.Error(), "collision") {
+		t.Fatalf("want collision failure, got %v", err)
+	}
+}
+
+func TestSuiteParanoidOption(t *testing.T) {
+	s := NewSuite(Options{Scale: 0.004, Workloads: []string{"xz"}, Mixes: []int{}, Paranoid: true})
+	if _, err := s.Run(RunSpec{Workload: "xz", Mapping: "coffeelake", Mitigation: "none", TRH: 128}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuiteRetriesAfterTransientFailure(t *testing.T) {
+	s := NewSuite(Options{Scale: 0.004, Workloads: []string{"xz"}, Mixes: []int{}})
+	calls := 0
+	s.resolve = func(spec string, cores int, g geom.Geometry, seed uint64) ([]workload.Profile, error) {
+		calls++
+		if calls == 1 {
+			return nil, errors.New("transient resolver outage")
+		}
+		return ResolveWorkload(spec, cores, g, seed)
+	}
+	spec := RunSpec{Workload: "xz", Mapping: "coffeelake", Mitigation: "none", TRH: 128}
+	if _, err := s.Run(spec); err == nil {
+		t.Fatal("first run should fail")
+	}
+	res, err := s.Run(spec)
+	if err != nil {
+		t.Fatalf("second run did not retry: %v", err)
+	}
+	if res == nil || res.MeanIPC <= 0 {
+		t.Fatal("retried run returned no result")
+	}
+	// Third run must come from the cache, not re-resolve.
+	if _, err := s.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("resolver called %d times, want 2 (fail, succeed, cached)", calls)
+	}
+}
+
+func TestPrefetchAggregatesAllErrors(t *testing.T) {
+	s := NewSuite(Options{Scale: 0.004, Workloads: []string{"xz"}, Mixes: []int{}})
+	specs := []RunSpec{
+		{Workload: "nope1", Mapping: "coffeelake", Mitigation: "none", TRH: 128},
+		{Workload: "xz", Mapping: "coffeelake", Mitigation: "none", TRH: 128},
+		{Workload: "nope2", Mapping: "coffeelake", Mitigation: "none", TRH: 128},
+		{Workload: "nope3", Mapping: "coffeelake", Mitigation: "none", TRH: 128},
+	}
+	err := s.Prefetch(specs)
+	if err == nil {
+		t.Fatal("Prefetch with three bad specs returned nil")
+	}
+	for _, name := range []string{"nope1", "nope2", "nope3"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error drops %s: %v", name, err)
+		}
+	}
+}
+
+func TestSeedZeroHonoredWhenSet(t *testing.T) {
+	if o := (Options{}).withDefaults(); o.Seed == 0 {
+		t.Fatal("unset seed should get the default")
+	}
+	if o := (Options{SeedSet: true}).withDefaults(); o.Seed != 0 {
+		t.Fatalf("explicit seed 0 remapped to %#x", o.Seed)
+	}
+	if o := (Options{Seed: 7}).withDefaults(); o.Seed != 7 {
+		t.Fatal("non-zero seed must pass through")
+	}
+}
+
+func TestReplayRelationsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay runs several full simulations")
+	}
+	opts := Options{Scale: 0.01, Cores: 2}
+	spec := RunSpec{Workload: "mcf", Mapping: "coffeelake", Mitigation: "none", TRH: 128}
+	results, err := Replay(opts, spec, ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("want 3 relations, got %d", len(results))
+	}
+	for _, r := range results {
+		if r.Skipped != "" {
+			t.Fatalf("%s skipped on a deterministic mapping: %s", r.Name, r.Skipped)
+		}
+	}
+}
+
+func TestReplaySkipsSeedInvarianceForSeedKeyedMapping(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay runs several full simulations")
+	}
+	opts := Options{Scale: 0.01, Cores: 2}
+	spec := RunSpec{Workload: "mcf", Mapping: "rubixs-gs4", Mitigation: "none", TRH: 128}
+	results, err := Replay(opts, spec, ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, r := range results {
+		if r.Name == "seed-invariance" {
+			found = r.Skipped != ""
+		}
+	}
+	if !found {
+		t.Fatal("seed-invariance not skipped for rubixs-gs4")
+	}
+}
+
+// Ensure the paranoid failure message names the configuration, so sweep
+// harnesses point at the offending run.
+func TestParanoidErrorNamesConfig(t *testing.T) {
+	g := geom.DDR4_16GB()
+	profiles, err := ResolveWorkload("xz", 1, g, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := check.New(check.Config{SampleEvery: 1, WindowLines: 1 << 16})
+	_, err = Run(Config{
+		Geometry:       g,
+		TRH:            128,
+		MitigationName: "none",
+		CustomMapper:   collidingMapper{},
+		Workloads:      profiles,
+		InstrPerCore:   1_000_000,
+		Seed:           42,
+		Check:          chk,
+	})
+	if err == nil || !strings.Contains(err.Error(), "Colliding") {
+		t.Fatalf("failure should name the config, got %v", err)
+	}
+	_ = fmt.Sprintf("%v", err)
+}

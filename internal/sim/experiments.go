@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -13,6 +14,7 @@ import (
 	"sync"
 
 	"rubix/internal/analytic"
+	"rubix/internal/check"
 	"rubix/internal/dram"
 	"rubix/internal/geom"
 	"rubix/internal/metrics"
@@ -31,10 +33,18 @@ type Options struct {
 	Workloads []string
 	// Mixes restricts the mix suite (nil = all 16; empty slice = none).
 	Mixes []int
-	// Seed decorrelates all randomness.
+	// Seed decorrelates all randomness. The zero value selects the default
+	// suite seed UNLESS SeedSet is true: seed 0 is a legal, distinct RNG
+	// stream, and callers that mean it must say so explicitly.
 	Seed uint64
+	// SeedSet marks Seed as explicitly chosen, so Seed == 0 is honored
+	// instead of being replaced by the default.
+	SeedSet bool
 	// Geometry overrides the baseline 16 GB geometry when non-zero.
 	Geometry geom.Geometry
+	// Paranoid attaches a fresh check.Checker to every simulation the Suite
+	// runs; a run with invariant violations fails with them.
+	Paranoid bool
 	// OnRunDone, when non-nil, is called after each fresh (non-cached)
 	// simulation completes, with the spec, its result, and the wall time it
 	// took in nanoseconds. Called from whichever goroutine ran the
@@ -60,7 +70,7 @@ func (o Options) withDefaults() Options {
 			o.Mixes[i] = i + 1
 		}
 	}
-	if o.Seed == 0 {
+	if o.Seed == 0 && !o.SeedSet {
 		o.Seed = 0x5242_1BCA // "RB"
 	}
 	if o.Geometry == (geom.Geometry{}) {
@@ -103,6 +113,9 @@ func (k RunSpec) String() string {
 // Suite caches simulation runs shared between experiments.
 type Suite struct {
 	opts Options
+	// resolve is ResolveWorkload, swappable by tests exercising the
+	// failed-run retry path.
+	resolve func(spec string, cores int, g geom.Geometry, seed uint64) ([]workload.Profile, error)
 
 	mu    sync.Mutex
 	cache map[RunSpec]*runEntry
@@ -116,10 +129,13 @@ type runEntry struct {
 
 // NewSuite builds an experiment suite.
 func NewSuite(opts Options) *Suite {
-	return &Suite{opts: opts.withDefaults(), cache: make(map[RunSpec]*runEntry)}
+	return &Suite{opts: opts.withDefaults(), resolve: ResolveWorkload, cache: make(map[RunSpec]*runEntry)}
 }
 
-// Run executes (or returns the cached result of) one configuration.
+// Run executes (or returns the cached result of) one configuration. Only
+// successful runs stay cached: a failed entry is dropped so a later Run of
+// the same spec retries instead of replaying a possibly-transient error
+// forever.
 func (s *Suite) Run(spec RunSpec) (*Result, error) {
 	s.mu.Lock()
 	e, ok := s.cache[spec]
@@ -130,10 +146,14 @@ func (s *Suite) Run(spec RunSpec) (*Result, error) {
 	s.mu.Unlock()
 	e.once.Do(func() {
 		start := metrics.WallNow()
-		profiles, err := ResolveWorkload(spec.Workload, s.opts.Cores, s.opts.Geometry, s.opts.Seed)
+		profiles, err := s.resolve(spec.Workload, s.opts.Cores, s.opts.Geometry, s.opts.Seed)
 		if err != nil {
 			e.err = err
 			return
+		}
+		var chk *check.Checker
+		if s.opts.Paranoid {
+			chk = check.New(check.Config{})
 		}
 		e.res, e.err = Run(Config{
 			Geometry:       s.opts.Geometry,
@@ -144,18 +164,30 @@ func (s *Suite) Run(spec RunSpec) (*Result, error) {
 			InstrPerCore:   s.opts.instrPerCore(),
 			Seed:           s.opts.Seed,
 			LineCensus:     spec.LineCensus,
+			Check:          chk,
 		})
 		if e.err == nil && s.opts.OnRunDone != nil {
 			s.opts.OnRunDone(spec, e.res, metrics.WallNow()-start)
 		}
 	})
+	if e.err != nil {
+		// Evict the failed entry — but only if the slot still holds it;
+		// a concurrent Run may already have installed a fresh attempt.
+		s.mu.Lock()
+		if s.cache[spec] == e {
+			delete(s.cache, spec)
+		}
+		s.mu.Unlock()
+	}
 	return e.res, e.err
 }
 
 // Prefetch executes the given configurations in parallel, filling the
 // cache so subsequent Run calls return instantly. Duplicate specs cost
 // nothing: the per-spec sync.Once guarantees each unique configuration is
-// simulated exactly once even when Prefetch races with Run.
+// simulated exactly once even when Prefetch races with Run. Every failure
+// is reported — the returned error joins one error per failed spec, in
+// spec order.
 func (s *Suite) Prefetch(specs []RunSpec) error {
 	workers := runtime.NumCPU()
 	if workers > len(specs) {
@@ -164,32 +196,24 @@ func (s *Suite) Prefetch(specs []RunSpec) error {
 	if workers < 1 {
 		workers = 1
 	}
-	ch := make(chan RunSpec)
-	errs := make(chan error, len(specs))
+	idx := make(chan int)
+	errs := make([]error, len(specs))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for spec := range ch {
-				if _, err := s.Run(spec); err != nil {
-					errs <- err
-				}
+			for i := range idx {
+				_, errs[i] = s.Run(specs[i])
 			}
 		}()
 	}
-	for _, spec := range specs {
-		ch <- spec
+	for i := range specs {
+		idx <- i
 	}
-	close(ch)
+	close(idx)
 	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // NormPerf returns the performance of (mapName, mitName, trh) on wl

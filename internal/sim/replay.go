@@ -1,0 +1,124 @@
+// Differential replay: metamorphic relations run as whole-sim comparisons.
+// Where paranoid mode checks invariants within one run, replay checks
+// invariants BETWEEN runs — counters that must not move when the seed does,
+// must scale linearly with the instruction budget, and the Rubix-S gang-size-1
+// degenerate case that must equal the raw cipher (see internal/check/replay.go
+// for the relations themselves).
+
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"rubix/internal/check"
+)
+
+// ReplayOptions configures Replay. The zero value selects the defaults.
+type ReplayOptions struct {
+	// Seeds are compared pairwise for seed-invariance (default {1, 2, 3}).
+	Seeds []uint64
+	// ScaleFactor is the instruction-budget multiplier for the
+	// scale-linearity relation (default 4).
+	ScaleFactor int
+	// Tol bounds the permitted drift (zero fields take check defaults).
+	Tol check.Tolerance
+}
+
+// RelationResult reports one metamorphic relation's outcome: Err is nil on
+// pass; Skipped carries the reason when the relation does not apply to the
+// spec (e.g. seed-invariance on a seed-keyed mapping).
+type RelationResult struct {
+	Name    string
+	Skipped string
+	Err     error
+}
+
+// seedInvariantMappings are the mappings whose layout does not depend on the
+// seed, so their structural counters must not either. The Rubix and
+// staticxor families derive their keys from the seed and are excluded.
+func seedInvariantMapping(name string) bool {
+	switch name {
+	case "sequential", "coffeelake", "skylake", "mop":
+		return true
+	}
+	// largestride-gs* is deterministic too (the gang size is in the name).
+	return len(name) >= 11 && name[:11] == "largestride"
+}
+
+func runStatsOf(res *Result) check.RunStats {
+	return check.RunStats{
+		Accesses:   res.DRAM.Accesses,
+		RowHits:    res.DRAM.RowHits,
+		DemandActs: res.DRAM.DemandActs,
+		ExtraActs:  res.DRAM.ExtraActs,
+		Hot64:      res.DRAM.TotalHot64(),
+		Hot512:     res.DRAM.TotalHot512(),
+	}
+}
+
+// Replay runs the differential-replay relations for one configuration. Each
+// relation simulates the spec from scratch two or more times (fresh Suite
+// state each run — replay deliberately bypasses the cache) and compares
+// structural counters. It returns one RelationResult per relation plus an
+// error joining the failures.
+func Replay(opts Options, spec RunSpec, ro ReplayOptions) ([]RelationResult, error) {
+	opts = opts.withDefaults()
+	if len(ro.Seeds) == 0 {
+		ro.Seeds = []uint64{1, 2, 3}
+	}
+	if ro.ScaleFactor == 0 {
+		ro.ScaleFactor = 4
+	}
+
+	runOnce := func(seed, instr uint64) (check.RunStats, error) {
+		profiles, err := ResolveWorkload(spec.Workload, opts.Cores, opts.Geometry, seed)
+		if err != nil {
+			return check.RunStats{}, err
+		}
+		res, err := Run(Config{
+			Geometry:       opts.Geometry,
+			TRH:            spec.TRH,
+			MappingName:    spec.Mapping,
+			MitigationName: spec.Mitigation,
+			Workloads:      profiles,
+			InstrPerCore:   instr,
+			Seed:           seed,
+			LineCensus:     spec.LineCensus,
+		})
+		if err != nil {
+			return check.RunStats{}, err
+		}
+		return runStatsOf(res), nil
+	}
+
+	var results []RelationResult
+
+	seedRes := RelationResult{Name: "seed-invariance"}
+	if !seedInvariantMapping(spec.Mapping) {
+		seedRes.Skipped = fmt.Sprintf("mapping %q is seed-keyed", spec.Mapping)
+	} else {
+		seedRes.Err = check.SeedInvariance(func(seed uint64) (check.RunStats, error) {
+			return runOnce(seed, opts.instrPerCore())
+		}, ro.Seeds, ro.Tol)
+	}
+	results = append(results, seedRes)
+
+	scaleRes := RelationResult{Name: "scale-linearity"}
+	scaleRes.Err = check.ScaleLinearity(func(instr uint64) (check.RunStats, error) {
+		return runOnce(opts.Seed, instr)
+	}, opts.instrPerCore(), ro.ScaleFactor, ro.Tol)
+	results = append(results, scaleRes)
+
+	cipherRes := RelationResult{Name: "cipher-equivalence"}
+	cipherRes.Err = check.CipherEquivalence(opts.Geometry, opts.Seed, 0)
+	results = append(results, cipherRes)
+
+	var errs []error
+	for _, r := range results {
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", r.Name, r.Err))
+		}
+	}
+	return results, errors.Join(errs...)
+}

@@ -7,6 +7,7 @@ package sim
 import (
 	"fmt"
 
+	"rubix/internal/check"
 	"rubix/internal/core"
 	"rubix/internal/cpu"
 	"rubix/internal/dram"
@@ -28,11 +29,11 @@ func MapperFor(name string, g geom.Geometry, seed uint64) (mapping.Mapper, error
 	case "sequential":
 		return mapping.NewSequential(), nil
 	case "coffeelake":
-		return mapping.NewCoffeeLake(g), nil
+		return mapping.NewCoffeeLake(g)
 	case "skylake":
 		return mapping.NewSkylake(g)
 	case "mop":
-		return mapping.NewMOP(g), nil
+		return mapping.NewMOP(g)
 	}
 	var gs int
 	var base string
@@ -100,6 +101,12 @@ type Config struct {
 	// timings, and (if configured) an event trace across the whole stack.
 	// Nil disables observability at zero cost.
 	Metrics *metrics.Recorder
+	// Check, when non-nil, runs the paranoid-mode invariant checker over
+	// the whole run (sampled bijection/collision spot-checks, activation
+	// conservation, refresh/tRC timing, Rubix-D epoch completeness); Run
+	// fails with the collected violations. Nil disables checking at zero
+	// cost. One Checker serves exactly one run.
+	Check *check.Checker
 }
 
 // Result summarizes one simulation run.
@@ -150,6 +157,8 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
+	chk := cfg.Check
+	chk.AttachMapper(cfg.Geometry, mapper)
 	mod := dram.New(dram.Config{
 		Geometry:    cfg.Geometry,
 		Timing:      cfg.Timing,
@@ -157,6 +166,7 @@ func Run(cfg Config) (*Result, error) {
 		LineCensus:  cfg.LineCensus,
 		LatencyHist: cfg.LatencyHist,
 		Metrics:     rec,
+		Check:       chk,
 	})
 	var mit mitigation.Mitigator
 	var err error
@@ -169,6 +179,16 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	metrics.Attach(rec, mapper, mit)
+	if chk != nil {
+		// The mapper is observed via hooks, not wrapping, so memctrl's
+		// Dynamic type-assertion on it keeps working; the mitigation IS
+		// wrapped (its interface is closed), after metrics.Attach so the
+		// real scheme still receives its recorder.
+		if ro, ok := mapper.(remapObservable); ok {
+			ro.SetRemapObserver(chk)
+		}
+		mit = check.WrapMitigator(chk, mit)
+	}
 	lat := cfg.MapLatencyNs
 	if lat == 0 {
 		lat = defaultMapLatency(cfg.MappingName, cfg.Core.FreqGHz)
@@ -176,7 +196,7 @@ func Run(cfg Config) (*Result, error) {
 	ctrl := memctrl.New(memctrl.Config{
 		DRAM: mod, Map: mapper, Mit: mit,
 		MapLatencyNs: lat, WriteFraction: cfg.WriteFraction,
-		Metrics: rec,
+		Metrics: rec, Check: chk,
 	})
 
 	cores := make([]*cpu.Core, len(cfg.Workloads))
@@ -190,6 +210,7 @@ func Run(cfg Config) (*Result, error) {
 
 	rec.Phase("census")
 	stats := mod.Finalize()
+	chk.OnRunEnd(stats.DemandActs, stats.ExtraActs)
 	res := &Result{
 		Mapping:     mapper.Name(),
 		Mitigation:  mit.Name(),
@@ -220,7 +241,16 @@ func Run(cfg Config) (*Result, error) {
 		}
 		res.Metrics = rec.Snapshot()
 	}
+	if err := chk.Err(); err != nil {
+		return nil, fmt.Errorf("sim: paranoid check failed for %s: %w", res.Config, err)
+	}
 	return res, nil
+}
+
+// remapObservable is implemented by dynamic mappers (core.RubixD) that can
+// report remap episodes to an observer.
+type remapObservable interface {
+	SetRemapObserver(core.RemapObserver)
 }
 
 // ipcGaugeNames caches the per-core IPC gauge names so sweep harnesses
