@@ -1,6 +1,6 @@
 # Convenience targets mirroring the CI jobs (.github/workflows/ci.yml).
 
-.PHONY: all build test race lint ci profile bench benchdiff check-paranoid check-replay
+.PHONY: all build test race race-concurrency lint ci profile bench benchdiff check-paranoid check-replay
 
 all: build test
 
@@ -13,9 +13,15 @@ test:
 race:
 	go test -race ./...
 
+# The concurrency hammer mirror of CI's race matrix: the packages where the
+# mutexes live, twice, so interleavings get a second roll of the dice.
+race-concurrency:
+	go test -race -count=2 ./internal/sim/... ./internal/metrics/... ./internal/check/...
+
 # The full local gate: vet plus the project invariants suite (determinism,
-# bitwidth, seedflow, panicpolicy, observereffect, addrwidth, errdiscard —
-# see internal/lint). rubixlint -fix applies the suite's suggested fixes.
+# bitwidth, seedflow, panicpolicy, observereffect, addrwidth, errdiscard,
+# lockdiscipline, goroutineescape, goroutineleak, waitgroup — see
+# internal/lint). rubixlint -fix applies the suite's suggested fixes.
 lint:
 	go vet ./...
 	go run ./cmd/rubixlint ./...

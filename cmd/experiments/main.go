@@ -30,8 +30,8 @@ import (
 type runTimer struct {
 	mu       sync.Mutex
 	progress bool
-	specs    []string
-	wallNs   []int64
+	specs    []string // guarded by mu
+	wallNs   []int64  // guarded by mu
 }
 
 func (t *runTimer) done(spec sim.RunSpec, _ *sim.Result, wallNs int64) {

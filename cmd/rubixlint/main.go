@@ -1,7 +1,8 @@
 // Command rubixlint runs the project's static-analysis suite (see
-// internal/lint: determinism, bitwidth, seedflow, panicpolicy, plus the
-// interprocedural observereffect, addrwidth, and errdiscard analyzers) over
-// the module.
+// internal/lint: determinism, bitwidth, seedflow, panicpolicy, the
+// interprocedural observereffect, addrwidth, and errdiscard analyzers, and
+// the concurrency gates lockdiscipline, goroutineescape, goroutineleak, and
+// waitgroup) over the module.
 //
 // Usage:
 //

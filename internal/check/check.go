@@ -17,6 +17,7 @@ package check
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"rubix/internal/geom"
 	"rubix/internal/mapping"
@@ -69,45 +70,49 @@ type GroupTranslator interface {
 
 // bankClock tracks per-bank monotonicity state.
 type bankClock struct {
-	lastRefresh float64
-	lastAct     float64
-	refreshes   uint64
-	acts        uint64
+	lastRefresh float64 // guarded by mu
+	lastAct     float64 // guarded by mu
+	refreshes   uint64  // guarded by mu
+	acts        uint64  // guarded by mu
 }
 
-// Checker collects sampled online assertions for one simulation run. It is
-// single-threaded, like the simulation that owns it; use one Checker per
-// concurrent run. The zero-cost contract: every exported hook is safe (and
-// free) on a nil receiver.
+// Checker collects sampled online assertions for one simulation run. Every
+// hook and reporting method is safe for concurrent use: the parallel
+// simulator calls the hooks from multiple shards, so all mutable state is
+// guarded by one mutex (the checker is off the hot path by contract — a nil
+// *Checker short-circuits before any locking, and the zero-cost contract
+// holds: every exported hook is safe, and free, on a nil receiver).
 type Checker struct {
-	cfg    Config
-	geo    geom.Geometry
-	mapper mapping.Mapper
-	inv    mapping.Inverter
-	gt     GroupTranslator
+	mu sync.Mutex
 
-	tick  uint64 // accesses seen; drives sampling
-	probe uint64 // deterministic mixer state for synthetic probe addresses
+	cfg    Config           // guarded by mu
+	geo    geom.Geometry    // guarded by mu
+	mapper mapping.Mapper   // guarded by mu
+	inv    mapping.Inverter // guarded by mu
+	gt     GroupTranslator  // guarded by mu
+
+	tick  uint64 // accesses seen; drives sampling; guarded by mu
+	probe uint64 // deterministic mixer state for synthetic probe addresses; guarded by mu
 
 	// Collision window: phys -> line over the most recent sampled mappings,
 	// with a ring buffer evicting the oldest entry. Flushed whenever a
 	// dynamic mapper remaps (the mapping legitimately changed).
-	winRing []uint64
-	winNext int
-	winMap  map[uint64]uint64
+	winRing []uint64          // guarded by mu
+	winNext int               // guarded by mu
+	winMap  map[uint64]uint64 // guarded by mu
 
 	// Conservation counters (cumulative over the run).
-	ctrlActs     uint64 // demand activations observed by the controller
-	mitActs      uint64 // OnACT calls observed by the wrapped mitigation
-	censusDemand uint64 // demand activations recorded by the DRAM census
-	censusExtra  uint64 // mitigation/remap activations recorded by the census
-	censusTable  uint64 // activations summed from census tables at window closes
+	ctrlActs     uint64 // demand activations observed by the controller; guarded by mu
+	mitActs      uint64 // OnACT calls observed by the wrapped mitigation; guarded by mu
+	censusDemand uint64 // demand activations recorded by the DRAM census; guarded by mu
+	censusExtra  uint64 // mitigation/remap activations recorded by the census; guarded by mu
+	censusTable  uint64 // activations summed from census tables at window closes; guarded by mu
 
-	banks []bankClock
+	banks []bankClock // guarded by mu
 
-	checks     uint64
-	violations []Violation
-	truncated  int
+	checks     uint64      // guarded by mu
+	violations []Violation // guarded by mu
+	truncated  int         // guarded by mu
 }
 
 // New builds a Checker.
@@ -121,6 +126,7 @@ func New(cfg Config) *Checker {
 	}
 }
 
+// violate records one violation. Callers must hold c.mu.
 func (c *Checker) violate(kind, format string, args ...any) {
 	if len(c.violations) >= c.cfg.MaxViolations {
 		c.truncated++
@@ -136,6 +142,8 @@ func (c *Checker) AttachMapper(g geom.Geometry, m mapping.Mapper) {
 	if c == nil {
 		return
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.geo = g
 	c.mapper = m
 	c.inv, _ = m.(mapping.Inverter)
@@ -151,6 +159,8 @@ func (c *Checker) OnMap(line, phys uint64) {
 	if c == nil {
 		return
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.tick++
 	if c.tick%uint64(c.cfg.SampleEvery) != 0 {
 		return
@@ -220,7 +230,9 @@ func (c *Checker) OnControllerACT() {
 	if c == nil {
 		return
 	}
+	c.mu.Lock()
 	c.ctrlActs++
+	c.mu.Unlock()
 }
 
 // OnCensusACT is called by the DRAM module for every activation it records
@@ -229,11 +241,13 @@ func (c *Checker) OnCensusACT(demand bool) {
 	if c == nil {
 		return
 	}
+	c.mu.Lock()
 	if demand {
 		c.censusDemand++
 	} else {
 		c.censusExtra++
 	}
+	c.mu.Unlock()
 }
 
 // OnWindowClose is called by the DRAM module when it finalizes a refresh
@@ -244,6 +258,8 @@ func (c *Checker) OnWindowClose(tableActs uint64) {
 	if c == nil {
 		return
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.checks++
 	c.censusTable += tableActs
 	if offered := c.censusDemand + c.censusExtra; c.censusTable != offered {
@@ -258,6 +274,8 @@ func (c *Checker) OnRunEnd(demandActs, extraActs uint64) {
 	if c == nil {
 		return
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.checks++
 	if c.ctrlActs != demandActs {
 		c.violate("conservation", "controller issued %d demand ACTs, DRAM accounted %d", c.ctrlActs, demandActs)
@@ -293,6 +311,8 @@ func (c *Checker) OnBankACT(bank int, actStart, trc float64) {
 	if c == nil {
 		return
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	b := c.bank(bank)
 	c.checks++
 	if b.acts > 0 && actStart < b.lastAct+trc {
@@ -309,6 +329,8 @@ func (c *Checker) OnRefresh(bank int, at, trefi float64) {
 	if c == nil {
 		return
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	b := c.bank(bank)
 	c.checks++
 	if b.refreshes > 0 {
@@ -334,6 +356,8 @@ func (c *Checker) OnRemapStep(group int, ptr uint64, rolled bool) {
 	if c == nil {
 		return
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.flushWindow()
 	if c.gt == nil {
 		return
@@ -441,21 +465,38 @@ func (w *CheckedMitigator) TranslateRow(row uint64) uint64 { return w.inner.Tran
 // activation start in the past).
 func (w *CheckedMitigator) ReleaseTime(row uint64, arrival float64) float64 {
 	t := w.inner.ReleaseTime(row, arrival)
-	if w.chk != nil {
-		w.chk.checks++
-		if t < arrival {
-			w.chk.violate("causality", "%s: ReleaseTime(%#x, %g) = %g is before arrival", w.inner.Name(), row, arrival, t)
-		}
-	}
+	w.chk.noteReleaseTime(w.inner.Name(), row, arrival, t)
 	return t
+}
+
+// noteReleaseTime records one causality check (and its violation, if the
+// grant precedes the arrival).
+func (c *Checker) noteReleaseTime(name string, row uint64, arrival, t float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.checks++
+	if t < arrival {
+		c.violate("causality", "%s: ReleaseTime(%#x, %g) = %g is before arrival", name, row, arrival, t)
+	}
 }
 
 // OnACT counts the activation and forwards it.
 func (w *CheckedMitigator) OnACT(row uint64, actStart float64) {
-	if w.chk != nil {
-		w.chk.mitActs++
-	}
+	w.chk.noteMitACT()
 	w.inner.OnACT(row, actStart)
+}
+
+// noteMitACT counts one mitigation-observed activation.
+func (c *Checker) noteMitACT() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.mitActs++
+	c.mu.Unlock()
 }
 
 // ResetWindow forwards to the wrapped scheme.
@@ -471,6 +512,8 @@ func (c *Checker) Checks() uint64 {
 	if c == nil {
 		return 0
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.checks
 }
 
@@ -479,13 +522,20 @@ func (c *Checker) Violations() []Violation {
 	if c == nil {
 		return nil
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return append([]Violation(nil), c.violations...)
 }
 
 // Err returns nil when every check passed, or an error joining the recorded
 // violations.
 func (c *Checker) Err() error {
-	if c == nil || len(c.violations) == 0 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.violations) == 0 {
 		return nil
 	}
 	errs := make([]error, 0, len(c.violations)+1)

@@ -2,6 +2,7 @@ package check
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"rubix/internal/core"
@@ -301,5 +302,111 @@ func TestCheckerAcceptsRealMappers(t *testing.T) {
 	}
 	if c.Checks() == 0 {
 		t.Fatal("no checks ran")
+	}
+}
+
+// inertMit is a stateless causal mitigator, safe to share across goroutines.
+type inertMit struct{ acausal bool }
+
+func (inertMit) Name() string                   { return "Inert" }
+func (inertMit) TranslateRow(row uint64) uint64 { return row }
+func (m inertMit) ReleaseTime(row uint64, arrival float64) float64 {
+	if m.acausal {
+		return arrival - 1
+	}
+	return arrival
+}
+func (inertMit) OnACT(row uint64, actStart float64) {}
+func (inertMit) ResetWindow()                       {}
+func (inertMit) Mitigations() uint64                { return 0 }
+
+// TestCheckerConcurrentHooks hammers every hook and reporting method from
+// many goroutines at once, the way the parallel simulator's shards do. Run
+// under -race this fails on any unguarded Checker field; without -race it
+// still fails if lost counter updates break conservation at OnRunEnd.
+func TestCheckerConcurrentHooks(t *testing.T) {
+	const workers = 8
+	const perWorker = 200
+
+	g := smallGeom(t)
+	cl, err := mapping.NewCoffeeLake(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{SampleEvery: 1, WindowLines: 64})
+	c.AttachMapper(g, cl)
+	w := WrapMitigator(c, inertMit{})
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func(id int) {
+			defer wg.Done()
+			base := uint64(id * perWorker)
+			trc := 45.0
+			for k := 0; k < perWorker; k++ {
+				line := (base + uint64(k)) % g.TotalLines()
+				c.OnMap(line, cl.Map(line))
+				c.OnControllerACT()
+				w.OnACT(line, float64(k)*trc)
+				c.OnCensusACT(true)
+				// Per-worker bank with tRC-spaced activations: no timing
+				// violations regardless of interleaving across workers.
+				c.OnBankACT(id, float64(k)*trc, trc)
+				if k%64 == 63 {
+					c.OnRefresh(id, float64(k+1)*trc, 64*trc)
+				}
+				// Readers racing the writers exercise the reporting paths.
+				if k%32 == 0 {
+					_ = c.Checks()
+					_ = c.Violations()
+					_ = c.Err()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	const total = workers * perWorker
+	c.OnWindowClose(total) // reconcile census tables with offered ACTs
+	c.OnRunEnd(total, 0)
+	if err := c.Err(); err != nil {
+		t.Fatalf("concurrent hooks broke an invariant (lost update?): %v", err)
+	}
+	if c.Checks() == 0 {
+		t.Fatal("no checks ran")
+	}
+}
+
+// TestCheckerConcurrentViolations hammers the violation-recording path (the
+// mutex protects the violations slice and the truncation counter too).
+func TestCheckerConcurrentViolations(t *testing.T) {
+	const workers = 8
+	const perWorker = 100
+
+	c := New(Config{MaxViolations: 5})
+	w := WrapMitigator(c, inertMit{acausal: true})
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for k := 0; k < perWorker; k++ {
+				w.ReleaseTime(uint64(k), 100)
+				_ = c.Violations()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := len(c.Violations()); got != 5 {
+		t.Fatalf("violation list length %d, want capped at 5", got)
+	}
+	if got := c.Checks(); got != workers*perWorker {
+		t.Fatalf("Checks() = %d, want %d (lost updates)", got, workers*perWorker)
+	}
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "further violations") {
+		t.Fatalf("truncation note missing: %v", err)
 	}
 }

@@ -1,0 +1,103 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rubix/internal/lint"
+)
+
+// TestAnnotationFixIdempotent applies lockdiscipline's `// guarded by`
+// annotation fix to a scratch copy of the golden package and verifies the
+// contract printed on SuggestedFix: after one -fix pass the annotation
+// findings are gone and a second pass has nothing left to edit.
+func TestAnnotationFixIdempotent(t *testing.T) {
+	root := t.TempDir()
+	pkgDir := filepath.Join(root, "lockdiscipline")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	srcDir := filepath.Join("testdata", "src", "lockdiscipline")
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(srcDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(pkgDir, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	run := func() ([]lint.Diagnostic, map[string][]byte) {
+		pkgs, err := lint.NewLoader(root, "").LoadAll()
+		if err != nil {
+			t.Fatalf("loading scratch copy: %v", err)
+		}
+		diags, err := lint.Run(pkgs, []*lint.Analyzer{lint.LockDiscipline}, lint.EverythingScope)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fset = pkgs[0].Fset
+		contents, _, _, err := lint.ApplyFixes(fset, diags)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return diags, contents
+	}
+
+	diags, contents := run()
+	annotations := 0
+	for _, d := range diags {
+		if strings.Contains(d.Message, "does not record the invariant") {
+			annotations++
+		}
+	}
+	if annotations == 0 {
+		t.Fatal("scratch copy produced no annotation findings; fixture drifted")
+	}
+	if len(contents) == 0 {
+		t.Fatal("annotation fixes produced no edits")
+	}
+	patched := false
+	for file, data := range contents {
+		if strings.Contains(string(data), "; guarded by mu") {
+			patched = true
+		}
+		if err := os.WriteFile(file, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !patched {
+		t.Fatal("patched sources missing the inserted `; guarded by mu` annotation")
+	}
+
+	diags2, contents2 := run()
+	for _, d := range diags2 {
+		if strings.Contains(d.Message, "does not record the invariant") {
+			t.Errorf("annotation finding survived the fix: %s", d)
+		}
+	}
+	if len(contents2) != 0 {
+		t.Errorf("second -fix pass still wants to edit %d file(s); fix not idempotent", len(contents2))
+	}
+	// The access findings (which carry no fix) must be unchanged by the
+	// annotation pass: it documents the invariant, it does not alter code.
+	accesses := func(ds []lint.Diagnostic) int {
+		n := 0
+		for _, d := range ds {
+			if strings.Contains(d.Message, "without mu held") || strings.Contains(d.Message, "without rw held") {
+				n++
+			}
+		}
+		return n
+	}
+	if a, b := accesses(diags), accesses(diags2); a != b {
+		t.Errorf("access findings changed across the fix: %d → %d", a, b)
+	}
+}

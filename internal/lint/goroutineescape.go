@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+)
+
+// GoroutineEscape flags mutable, unsynchronized state escaping from a
+// spawning function into a goroutine: a write, inside the goroutine closure
+// (or a helper it calls directly), to a variable captured from the spawner —
+// or through a captured base — with no lock held on the path and no
+// channel/atomic type involved. Such writes race with the spawner and with
+// sibling goroutines the moment the spawn site runs more than once.
+//
+// The check is deliberately depth-one interprocedural: writes are examined
+// in the closure body itself and in functions the body calls directly, with
+// capture taint carried through the call's argument/receiver bindings. Full
+// transitive reachability would flood: everything a worker calls (the whole
+// simulator, for Suite.Prefetch) would count as "escaped". DESIGN.md §11
+// records this as a known unsoundness trade.
+var GoroutineEscape = &Analyzer{
+	Name: "goroutineescape",
+	Doc: "Flags writes inside a goroutine (or a directly-called helper) to " +
+		"variables or struct fields captured from the spawning function " +
+		"without a lock held — shared mutable state on a concurrent path. " +
+		"Channel, sync, and atomic types are exempt, as are fields with an " +
+		"established lockdiscipline guard (those are that analyzer's " +
+		"findings). Suppress deliberate patterns (distinct-index writes into " +
+		"a shared slice, single-writer hand-off) with //lint:allow " +
+		"goroutineescape <why>.",
+	NeedsProgram: true,
+	Run:          runGoroutineEscape,
+}
+
+func runGoroutineEscape(pass *Pass) error {
+	facts := pass.Prog.concurrency()
+	guards := facts.guardsFor(pass.Prog)
+	seen := make(map[string]bool)
+
+	for _, sp := range facts.spawns {
+		captured := make(map[types.Object]bool, len(sp.captured))
+		for _, o := range sp.captured {
+			captured[o] = true
+		}
+		if len(captured) == 0 {
+			continue
+		}
+		// Depth-one taint: parameters (and receivers) of functions called
+		// directly from the closure body, bound from captured values.
+		tainted := make(map[types.Object]bool)
+		direct := make(map[*types.Func]bool)
+		for _, cf := range facts.calls {
+			if cf.spawn != sp.id || cf.callee == nil {
+				continue
+			}
+			body := pass.Prog.fns[cf.callee]
+			if body == nil {
+				continue
+			}
+			direct[cf.callee] = true
+			params := paramObjs(body.pkg, body.decl)
+			for ai, objs := range cf.argObjs {
+				j := ai
+				if j >= len(params) {
+					j = len(params) - 1
+				}
+				if j < 0 || params[j] == nil {
+					continue
+				}
+				for _, o := range objs {
+					if captured[o] {
+						tainted[params[j]] = true
+					}
+				}
+			}
+			if body.decl.Recv != nil && len(body.decl.Recv.List) == 1 && len(body.decl.Recv.List[0].Names) == 1 {
+				if robj := body.pkg.Info.Defs[body.decl.Recv.List[0].Names[0]]; robj != nil {
+					for _, o := range cf.recvObjs {
+						if captured[o] {
+							tainted[robj] = true
+						}
+					}
+				}
+			}
+		}
+
+		// Direct writes to captured variables inside the closure body.
+		for _, vw := range facts.varWrites {
+			if vw.spawn != sp.id || vw.pkg != pass.LintPkg {
+				continue
+			}
+			if !captured[vw.obj] || len(vw.holds) > 0 {
+				continue
+			}
+			if syncExempt(vw.obj.Type()) {
+				continue
+			}
+			key := fmt.Sprintf("%d", vw.pos)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			pass.Report(vw.pos, escapeMsg(vw.obj.Name(), sp, pass))
+		}
+
+		// Field writes through captured (or depth-one tainted) bases, in the
+		// closure body or in directly-called helpers.
+		for _, fa := range facts.fields {
+			if !fa.write || fa.pkg != pass.LintPkg {
+				continue
+			}
+			inBody := fa.spawn == sp.id
+			inHelper := fa.spawn == -1 && fa.fn != nil && direct[fa.fn]
+			if !inBody && !inHelper {
+				continue
+			}
+			eff := facts.effectiveHolds(fa.holds, fa.fn, fa.spawn)
+			if len(eff) > 0 {
+				continue
+			}
+			if guards[fa.field] != nil {
+				continue // lockdiscipline reports guarded-field misuse
+			}
+			if syncExempt(fa.field.Type()) || fieldDeclaredInMetrics(fa.field) {
+				continue
+			}
+			if fa.field.Pkg() == nil || pass.Prog.byPath[fa.field.Pkg().Path()] == nil {
+				continue // stdlib struct fields are not ours to police
+			}
+			through := false
+			for _, b := range fa.base {
+				if captured[b] || (inHelper && tainted[b]) {
+					through = true
+					break
+				}
+			}
+			if !through {
+				continue
+			}
+			key := fmt.Sprintf("%d", fa.pos)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			pass.Report(fa.pos, escapeMsg(fieldLabel(fa.field), sp, pass))
+		}
+	}
+	return nil
+}
+
+// escapeMsg renders the finding with the spawn site for context.
+func escapeMsg(what string, sp *spawnSite, pass *Pass) string {
+	where := "a goroutine"
+	if sp.fn != nil {
+		where = fmt.Sprintf("the goroutine spawned by %s", sp.fn.Name())
+	}
+	return fmt.Sprintf(
+		"%s writes %s, captured from the spawning function, with no lock held"+
+			" — unsynchronized shared state on a concurrent path (spawn at %s)",
+		where, what, shortPos(pass.Fset.Position(sp.pos)))
+}
+
+// syncExempt reports whether writes through values of this type are
+// synchronization by construction: channels, sync.* primitives, and
+// sync/atomic types.
+func syncExempt(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	return declaredInPath(t, "sync") || declaredInPath(t, "sync/atomic")
+}
+
+// fieldDeclaredInMetrics exempts telemetry fields: the metrics package has
+// its own single-writer contract (Recorder) and publication discipline
+// (Publisher), checked by observereffect and the race tests.
+func fieldDeclaredInMetrics(fv *types.Var) bool {
+	return fv.Pkg() != nil && isMetricsPkg(fv.Pkg().Path())
+}

@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineLeak flags spawned goroutines whose only exit is a channel
+// operation that can never complete: a receive on a channel alias class with
+// no send and no close anywhere in the module, an unbuffered send with no
+// receive, a select whose every arm is dead (and that has no default), and
+// time.Tick — whose ticker is unreachable and never stopped. Channel alias
+// classes come from union-find over the value-flow edges, so a channel
+// passed into a helper unifies with its caller's and the matching send can
+// live across a function boundary.
+//
+// Known unsoundness: a channel stored into a container or returned from a
+// closure falls out of the alias classes; channels handed to exported API
+// could be operated on by callers outside the module. Both directions are
+// documented in DESIGN.md §11 — the analyzer only reports an op as dead
+// when the module shows no counterpart at all.
+var GoroutineLeak = &Analyzer{
+	Name: "goroutineleak",
+	Doc: "Flags goroutines blocked forever: receives on channels nothing " +
+		"sends to or closes, unbuffered sends nothing receives, selects " +
+		"whose every arm is dead, and time.Tick tickers that can never be " +
+		"stopped. Operations are matched module-wide through channel alias " +
+		"classes. Suppress process-lifetime goroutines with //lint:allow " +
+		"goroutineleak <why>.",
+	NeedsProgram: true,
+	Run:          runGoroutineLeak,
+}
+
+func runGoroutineLeak(pass *Pass) error {
+	facts := pass.Prog.concurrency()
+	u := facts.aliasClasses(pass.Prog, isChanObj)
+
+	type classStat struct {
+		sends, recvs, closes int
+		buffered             bool
+	}
+	stats := make(map[types.Object]*classStat)
+	at := func(o types.Object) *classStat {
+		r := u.find(o)
+		s := stats[r]
+		if s == nil {
+			s = &classStat{}
+			stats[r] = s
+		}
+		return s
+	}
+	for _, op := range facts.chans {
+		s := at(op.obj)
+		switch op.kind {
+		case chanSend:
+			s.sends++
+		case chanRecv:
+			s.recvs++
+		case chanClose:
+			s.closes++
+		}
+	}
+	for o, buf := range facts.buffered { // flag only; order-free
+		if buf {
+			at(o).buffered = true
+		}
+	}
+
+	// A channel op is in goroutine context when it sits in a closure body
+	// spawned by `go` (or a worker pool), or in a function reachable from
+	// one.
+	inGoroutine := facts.goroutineContext(pass.Prog)
+
+	deadRecv := func(op chanOp) bool {
+		s := at(op.obj)
+		return s.sends == 0 && s.closes == 0
+	}
+	deadSend := func(op chanOp) bool {
+		s := at(op.obj)
+		return s.recvs == 0 && !s.buffered
+	}
+
+	// Group select arms by their select statement; free-standing ops are
+	// judged individually.
+	selects := make(map[token.Pos][]chanOp)
+	var order []token.Pos
+	seen := make(map[token.Pos]bool)
+	for _, op := range facts.chans {
+		if op.pkg != pass.LintPkg || !inGoroutine(op) {
+			continue
+		}
+		if op.selectPos != token.NoPos {
+			if !seen[op.selectPos] {
+				seen[op.selectPos] = true
+				order = append(order, op.selectPos)
+			}
+			selects[op.selectPos] = append(selects[op.selectPos], op)
+			continue
+		}
+		switch op.kind {
+		case chanRecv:
+			if deadRecv(op) {
+				pass.Report(op.pos, fmt.Sprintf(
+					"goroutine blocks forever: receive on %s has no matching send or close anywhere in the module",
+					chanLabel(op.obj)))
+			}
+		case chanSend:
+			if deadSend(op) {
+				pass.Report(op.pos, fmt.Sprintf(
+					"goroutine blocks forever: send on unbuffered %s has no matching receive anywhere in the module",
+					chanLabel(op.obj)))
+			}
+		}
+	}
+	for _, selPos := range order {
+		ops := selects[selPos]
+		if len(ops) == 0 || ops[0].selectDef {
+			continue // a default arm always exits
+		}
+		allDead := true
+		for _, op := range ops {
+			switch op.kind {
+			case chanRecv:
+				if !deadRecv(op) {
+					allDead = false
+				}
+			case chanSend:
+				if !deadSend(op) {
+					allDead = false
+				}
+			}
+		}
+		if allDead {
+			pass.Report(selPos,
+				"goroutine blocks forever: every arm of this select is a dead channel op (no matching sender/receiver/close in the module) and there is no default")
+		}
+	}
+
+	for _, t := range facts.ticks {
+		if t.pkg == pass.LintPkg {
+			pass.Report(t.pos,
+				"time.Tick leaks its ticker (it can never be stopped); use time.NewTicker and defer Stop")
+		}
+	}
+	return nil
+}
+
+// chanLabel names a channel object for diagnostics.
+func chanLabel(o types.Object) string {
+	if v, ok := o.(*types.Var); ok && v.IsField() {
+		return "channel field " + fieldLabel(v)
+	}
+	return "channel " + o.Name()
+}
+
+// goroutineContext returns a predicate over ops: inside a spawned closure,
+// or in a function reachable from any spawn body. The reachable-function
+// set is computed once and memoized on the facts.
+func (f *concFacts) goroutineContext(p *Program) func(chanOp) bool {
+	reach := f.reachFromSpawns(p)
+	return func(op chanOp) bool {
+		if op.spawn >= 0 {
+			return true
+		}
+		return op.fn != nil && reach[op.fn]
+	}
+}
+
+// reachFromSpawns unions goroutineReach over every spawn site.
+func (f *concFacts) reachFromSpawns(p *Program) map[*types.Func]bool {
+	if f.spawnReach != nil {
+		return f.spawnReach
+	}
+	all := make(map[*types.Func]bool)
+	for _, sp := range f.spawns {
+		for fn := range f.goroutineReach(p, sp) { // set union: order-free
+			all[fn] = true
+		}
+	}
+	f.spawnReach = all
+	return all
+}

@@ -143,6 +143,10 @@ type Program struct {
 	callees map[*types.Func]map[*types.Func]bool
 
 	taintCache map[string]TaintMap
+
+	// conc memoizes the concurrency-fact database (see conc.go), built on
+	// first use by a concurrency analyzer.
+	conc *concFacts
 }
 
 // BuildProgram constructs the value-flow graph over the loaded packages.

@@ -110,6 +110,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		Determinism, Bitwidth, Seedflow, Panicpolicy,
 		ObserverEffect, AddrWidth, ErrDiscard,
+		LockDiscipline, GoroutineEscape, GoroutineLeak, WaitGroup,
 	}
 }
 
@@ -126,7 +127,10 @@ func EverythingScope(*Analyzer, string) bool { return true }
 // the lint tool itself, which is tooling rather than simulation and may
 // e.g. iterate maps after sorting for report ordering; observereffect gates
 // the simulation packages minus internal/metrics, whose own implementation
-// legitimately reads the values it records.
+// legitimately reads the values it records; the concurrency analyzers
+// (lockdiscipline, goroutineescape, goroutineleak, waitgroup) gate every
+// package, because goroutine fan-outs live in the command drivers and the
+// lint tooling as much as in the library.
 func DefaultScope(modulePath string) Scope {
 	internalPrefix := modulePath + "/internal/"
 	lintPrefix := modulePath + "/internal/lint"
@@ -136,6 +140,11 @@ func DefaultScope(modulePath string) Scope {
 		simPkg := inInternal && !strings.HasPrefix(pkgPath, lintPrefix)
 		switch a.Name {
 		case "seedflow", "errdiscard":
+			return true
+		case "lockdiscipline", "goroutineescape", "goroutineleak", "waitgroup":
+			// Concurrency safety gates everything: library packages, the
+			// command drivers (which own the goroutine fan-outs), and the
+			// lint tooling itself (linttest caches across parallel tests).
 			return true
 		case "panicpolicy":
 			return inInternal

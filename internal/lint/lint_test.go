@@ -37,6 +37,22 @@ func TestErrDiscard(t *testing.T) {
 	linttest.Run(t, testdata, lint.ErrDiscard, "errdiscard")
 }
 
+func TestLockDiscipline(t *testing.T) {
+	linttest.Run(t, testdata, lint.LockDiscipline, "lockdiscipline")
+}
+
+func TestGoroutineEscape(t *testing.T) {
+	linttest.Run(t, testdata, lint.GoroutineEscape, "goroutineescape")
+}
+
+func TestGoroutineLeak(t *testing.T) {
+	linttest.Run(t, testdata, lint.GoroutineLeak, "goroutineleak")
+}
+
+func TestWaitGroup(t *testing.T) {
+	linttest.Run(t, testdata, lint.WaitGroup, "waitgroup")
+}
+
 // TestDefaultScope pins the repository policy: which analyzers gate which
 // package families.
 func TestDefaultScope(t *testing.T) {
@@ -69,6 +85,15 @@ func TestDefaultScope(t *testing.T) {
 		{"errdiscard", "rubix/cmd/rubixsim", true},
 		{"errdiscard", "rubix/examples/quickstart", true},
 		{"errdiscard", "rubix/internal/kcipher", true},
+		{"lockdiscipline", "rubix/internal/sim", true},
+		{"lockdiscipline", "rubix/cmd/experiments", true},
+		{"lockdiscipline", "rubix/internal/lint/linttest", true},
+		{"goroutineescape", "rubix/internal/check", true},
+		{"goroutineescape", "rubix/cmd/rubixsim", true},
+		{"goroutineleak", "rubix/internal/metrics", true},
+		{"goroutineleak", "rubix/examples/quickstart", true},
+		{"waitgroup", "rubix/internal/sim", true},
+		{"waitgroup", "rubix/internal/lint", true},
 	}
 	for _, c := range cases {
 		a := byName[c.analyzer]

@@ -25,7 +25,7 @@ import (
 // dominant cost of these tests.
 var loaders = struct {
 	sync.Mutex
-	m map[string][]*lint.Package
+	m map[string][]*lint.Package // guarded by Mutex
 }{m: make(map[string][]*lint.Package)}
 
 func loadRoot(t *testing.T, root string) []*lint.Package {

@@ -1,0 +1,299 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// LockDiscipline infers, per struct field, which mutex guards it — from the
+// majority of access sites holding that mutex — and then flags the minority
+// accesses performed outside the lock, plus guarded fields whose declaration
+// does not record the invariant. The inference is seeded and overridden by
+// explicit `// guarded by <mu>` annotations on the field declaration (doc or
+// trailing comment), which always win over the majority vote; the suggested
+// fix for an inferred-but-unannotated field inserts exactly that annotation,
+// so `rubixlint -fix` converges in one pass.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc: "Infers which mutex guards each struct field from majority-locked " +
+		"access sites (or a `// guarded by mu` annotation, which takes " +
+		"precedence) and flags field accesses outside the lock region: " +
+		"writes require the mutex held exclusively, reads accept RLock on an " +
+		"RWMutex. Constructors — functions returning the owning struct type " +
+		"— are exempt, since the value is not yet shared. Suppress " +
+		"intentionally unsynchronized accesses with //lint:allow " +
+		"lockdiscipline <why>.",
+	NeedsProgram: true,
+	Run:          runLockDiscipline,
+}
+
+// guardInfo is the per-field inference result: the guarding synchronizer,
+// whether it came from a declaration annotation, and the vote tally.
+type guardInfo struct {
+	obj      types.Object // the mutex object (field or package-level var)
+	declared bool         // from a `// guarded by` annotation
+	locked   int          // access sites holding obj
+	total    int          // all access sites
+}
+
+// guardsFor computes (once per Program) the guard map over every loaded
+// package. A field is inferred guarded by mutex M when strictly more than
+// half of its access sites hold M, with at least two locked sites — a single
+// locked access is no pattern, and a 50/50 split is ambiguity, not
+// discipline.
+func (f *concFacts) guardsFor(p *Program) map[*types.Var]*guardInfo {
+	if f.guardsDone {
+		return f.guards
+	}
+	f.guardsDone = true
+	f.guards = make(map[*types.Var]*guardInfo)
+	for fv, info := range f.fieldDecl { // declared annotations, order-free
+		if info.guardObj != nil {
+			f.guards[fv] = &guardInfo{obj: info.guardObj, declared: true}
+		}
+	}
+	counts := make(map[*types.Var]map[types.Object]int)
+	totals := make(map[*types.Var]int)
+	for _, fa := range f.fields {
+		if !guardableField(p, f, fa.field) {
+			continue
+		}
+		totals[fa.field]++
+		eff := f.effectiveHolds(fa.holds, fa.fn, fa.spawn)
+		for m := range eff {
+			if counts[fa.field] == nil {
+				counts[fa.field] = make(map[types.Object]int)
+			}
+			counts[fa.field][m]++
+		}
+	}
+	for fv, byMu := range counts { // result keyed per field: order-free
+		if f.guards[fv] != nil {
+			continue // declared guard wins
+		}
+		var best types.Object
+		bestN := 0
+		cands := make([]types.Object, 0, len(byMu))
+		for m := range byMu { // key extraction: sorted below
+			cands = append(cands, m)
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			a, b := cands[i], cands[j]
+			if byMu[a] != byMu[b] {
+				return byMu[a] > byMu[b]
+			}
+			if a.Name() != b.Name() {
+				return a.Name() < b.Name()
+			}
+			return a.Pos() < b.Pos()
+		})
+		if len(cands) > 0 {
+			best, bestN = cands[0], byMu[cands[0]]
+		}
+		if best != nil && bestN >= 2 && bestN*2 > totals[fv] {
+			gi := &guardInfo{obj: best, locked: bestN, total: totals[fv]}
+			// An annotation can name a guard that is not visible from the
+			// declaration scope — a mutex in the struct that embeds this one
+			// (Checker.mu guarding bankClock fields). Such an annotation has
+			// no guardObj, but if it names the inferred guard it records the
+			// same invariant, so it counts as declared.
+			if info := f.fieldDecl[fv]; info != nil && info.guardObj == nil && info.guard == best.Name() {
+				gi.declared = true
+			}
+			f.guards[fv] = gi
+		}
+	}
+	// Fill tallies for declared guards too, so diagnostics can cite them.
+	for fv, g := range f.guards {
+		if g.declared {
+			g.total = totals[fv]
+			g.locked = counts[fv][g.obj]
+		}
+	}
+	return f.guards
+}
+
+// guardableField reports whether the field is a candidate for guard
+// inference: declared in a loaded package and not itself a synchronizer.
+func guardableField(p *Program, f *concFacts, fv *types.Var) bool {
+	if fv == nil || fv.Pkg() == nil || p.byPath[fv.Pkg().Path()] == nil {
+		return false
+	}
+	if _, ok := f.fieldDecl[fv]; !ok {
+		return false
+	}
+	switch typeName(fv.Type()) {
+	case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+		if named, ok := derefNamed(fv.Type()); ok && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() == "sync" {
+			return false
+		}
+	}
+	if declaredInPath(fv.Type(), "sync/atomic") || declaredInPath(fv.Type(), "sync") {
+		return false
+	}
+	return true
+}
+
+// derefNamed unwraps a pointer to its named type.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return n, ok
+}
+
+// declaredInPath reports whether t's named form is declared in the package
+// with exactly that import path.
+func declaredInPath(t types.Type, path string) bool {
+	return declaredIn(t, func(p string) bool { return p == path })
+}
+
+// guardIsRW reports whether the guard object is an RWMutex, whose RLock
+// suffices for reads.
+func guardIsRW(obj types.Object) bool {
+	return typeName(obj.Type()) == "RWMutex"
+}
+
+func runLockDiscipline(pass *Pass) error {
+	facts := pass.Prog.concurrency()
+	guards := facts.guardsFor(pass.Prog)
+
+	// Annotation findings: walk this package's struct declarations in source
+	// order, report once per ast.Field whose (first) inferred guard is not
+	// yet recorded, and attach the annotation fix.
+	reported := make(map[*ast.Field]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					fv, ok := pass.Info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					g := guards[fv]
+					if g == nil || g.declared || reported[fld] {
+						continue
+					}
+					reported[fld] = true
+					pass.Report(name.Pos(), fmt.Sprintf(
+						"field %s is guarded by %s (%d/%d access sites hold it) but the declaration does not record the invariant",
+						fieldLabel(fv), g.obj.Name(), g.locked, g.total),
+						annotationFix(fld, g.obj.Name()))
+				}
+			}
+			return true
+		})
+	}
+
+	// Access findings: every access in this package to a guarded field made
+	// without the guard held (in the required mode).
+	seen := make(map[string]bool)
+	for _, fa := range facts.fields {
+		if fa.pkg != pass.LintPkg {
+			continue
+		}
+		g := guards[fa.field]
+		if g == nil {
+			continue
+		}
+		eff := facts.effectiveHolds(fa.holds, fa.fn, fa.spawn)
+		okHeld := eff.holdsWrite(g.obj)
+		if !fa.write && guardIsRW(g.obj) {
+			okHeld = eff.holdsAny(g.obj)
+		}
+		if okHeld {
+			continue
+		}
+		if isConstructorOf(pass.Prog, fa.fn, fa.field) {
+			continue
+		}
+		key := fmt.Sprintf("%d", fa.pos)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		verb := "read of"
+		need := "held"
+		if fa.write {
+			verb = "write to"
+			if guardIsRW(g.obj) {
+				need = "held exclusively"
+			}
+		}
+		how := fmt.Sprintf("inferred from %d/%d locked access sites", g.locked, g.total)
+		if g.declared {
+			how = "declared on the field"
+		}
+		pass.Report(fa.pos, fmt.Sprintf(
+			"%s %s without %s %s (guard %s)",
+			verb, fieldLabel(fa.field), g.obj.Name(), need, how))
+	}
+	return nil
+}
+
+// fieldLabel renders Owner.field for diagnostics.
+func fieldLabel(fv *types.Var) string {
+	owner := ""
+	if fv.Pkg() != nil {
+		owner = pkgBase(fv.Pkg().Path()) + "."
+	}
+	return owner + fv.Name()
+}
+
+// isConstructorOf reports whether fn returns the struct type owning the
+// field — the constructor exemption: a value under construction is not yet
+// shared, so its unlocked initialization is fine.
+func isConstructorOf(p *Program, fn *types.Func, fv *types.Var) bool {
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	owner := ownerNamed(p, fv)
+	if owner == nil {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if n, ok := derefNamed(res.At(i).Type()); ok && n.Obj() == owner.Obj() {
+			return true
+		}
+	}
+	return false
+}
+
+// ownerNamed returns the named struct type declaring the field, if known.
+func ownerNamed(p *Program, fv *types.Var) *types.Named {
+	if info := p.conc.fieldDecl[fv]; info != nil {
+		return info.owner
+	}
+	return nil
+}
+
+// annotationFix builds the `// guarded by <mu>` insertion for a field
+// declaration: appended to the trailing comment when one exists, otherwise
+// as a new trailing comment.
+func annotationFix(fld *ast.Field, guard string) SuggestedFix {
+	ann := "guarded by " + guard
+	if fld.Comment != nil && len(fld.Comment.List) > 0 {
+		last := fld.Comment.List[len(fld.Comment.List)-1]
+		return SuggestedFix{
+			Message: "record the inferred guard on the field declaration",
+			Edits:   []TextEdit{{Pos: last.End(), End: last.End(), NewText: "; " + ann}},
+		}
+	}
+	return SuggestedFix{
+		Message: "record the inferred guard on the field declaration",
+		Edits:   []TextEdit{{Pos: fld.End(), End: fld.End(), NewText: " // " + ann}},
+	}
+}

@@ -1,0 +1,82 @@
+// Package goroutineescape exercises escape detection: mutable state captured
+// by a spawned goroutine and written without synchronization.
+package goroutineescape
+
+import "sync"
+
+// Direct is the true positive: a captured local written inside the goroutine
+// while the spawner still reads it.
+func Direct() int {
+	count := 0
+	go func() {
+		count++ // want "writes count, captured from the spawning function"
+	}()
+	return count
+}
+
+type Sim struct {
+	mu    sync.Mutex
+	total int
+	done  chan int
+}
+
+// Helper is the interprocedural positive: the goroutine body delegates the
+// write to a method, and the captured receiver taints it one call deep.
+func (s *Sim) Helper() {
+	go func() {
+		s.bump()
+	}()
+}
+
+func (s *Sim) bump() {
+	s.total++ // want "writes goroutineescape.total"
+}
+
+// Locked is the negative: the goroutine takes the captured mutex first.
+func (s *Sim) Locked() {
+	go func() {
+		s.mu.Lock()
+		s.total++
+		s.mu.Unlock()
+	}()
+}
+
+// Channel is the negative idiom the analyzer should never flag: results
+// leave the goroutine over a channel instead of shared memory.
+func (s *Sim) Channel() {
+	go func() {
+		v := 41 + 1
+		s.done <- v
+	}()
+}
+
+// Pool spawns its argument: callers' closures run on goroutines even though
+// no `go` statement appears at their call sites.
+func Pool(job func()) {
+	go job()
+}
+
+// Pooled is the worker-pool positive: the closure handed to Pool escapes to
+// a goroutine, so its captured write is shared state.
+func Pooled() int {
+	hits := 0
+	Pool(func() {
+		hits++ // want "writes hits"
+	})
+	return hits
+}
+
+// Waited is the annotated negative: the write is ordered by wg.Wait, which
+// the analyzer cannot see, so the author vouches for it.
+func Waited() int {
+	var wg sync.WaitGroup
+	out := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		//lint:allow goroutineescape fixture: single writer, sequenced by wg.Wait below
+		out = 42
+	}()
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,86 @@
+// Package goroutineleak exercises leak detection: channel ops that can never
+// unblock, dead selects, and unstoppable time.Tick tickers.
+package goroutineleak
+
+import "time"
+
+// DeadRecv is the true positive: nothing in the module ever sends on or
+// closes orphan, so the goroutine blocks forever.
+func DeadRecv() {
+	orphan := make(chan int)
+	go func() {
+		<-orphan // want "receive on channel orphan has no matching send or close"
+	}()
+}
+
+// DeadSend is the unbuffered-send positive.
+func DeadSend() {
+	sink := make(chan int)
+	go func() {
+		sink <- 1 // want "send on unbuffered channel sink has no matching receive"
+	}()
+}
+
+// Buffered is the negative: a buffered send does not block while capacity
+// remains, so a missing receiver is not a guaranteed leak.
+func Buffered() {
+	buf := make(chan int, 4)
+	go func() {
+		buf <- 1
+	}()
+}
+
+// Paired is the interprocedural negative: the send happens in a helper the
+// channel flows into, and alias classes unify it with the receive here.
+func Paired() int {
+	ch := make(chan int)
+	go produce(ch)
+	return <-ch
+}
+
+func produce(out chan int) {
+	out <- 7
+}
+
+// DeadSelect has only dead arms and no default: flagged at the select.
+func DeadSelect() {
+	a := make(chan int)
+	b := make(chan int)
+	go func() {
+		select { // want "every arm of this select is a dead channel op"
+		case <-a:
+		case b <- 1:
+		}
+	}()
+}
+
+// DefaultSelect is the negative: a default arm always exits.
+func DefaultSelect() {
+	a := make(chan int)
+	go func() {
+		select {
+		case <-a:
+		default:
+		}
+	}()
+}
+
+// Tick is flagged unconditionally: time.Tick tickers cannot be stopped.
+func Tick() <-chan time.Time {
+	return time.Tick(1) // want "time.Tick leaks its ticker"
+}
+
+// Stopped is the negative: time.NewTicker can be stopped.
+func Stopped() *time.Ticker {
+	return time.NewTicker(1)
+}
+
+// Shutdown is the annotated negative: a receive that blocks until process
+// exit is the intended lifecycle, so the author vouches for it.
+func Shutdown() {
+	hold := make(chan struct{})
+	go func() {
+		//lint:allow goroutineleak fixture: intentional block-until-exit guard
+		<-hold
+	}()
+}

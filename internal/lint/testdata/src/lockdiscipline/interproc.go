@@ -1,0 +1,50 @@
+package lockdiscipline
+
+import "sync"
+
+// Table exercises interprocedural hold tracking: unexported helpers inherit
+// the locks every caller holds (a must-intersection over call sites).
+type Table struct {
+	mu   sync.Mutex
+	rows int // want "field lockdiscipline.rows is .*by mu .*does not record"
+}
+
+// grow touches rows without locking, but every caller holds mu — the
+// entry-held intersection keeps it a locked site (interprocedural negative).
+func (t *Table) grow() {
+	t.rows++
+}
+
+func (t *Table) Insert() {
+	t.mu.Lock()
+	t.grow()
+	t.rows++
+	t.mu.Unlock()
+}
+
+func (t *Table) Reserve(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := 0; i < n; i++ {
+		t.grow()
+	}
+	t.rows += n
+}
+
+// shrink is called from one locked and one unlocked site, so the
+// intersection is empty and its access really is unguarded
+// (interprocedural positive).
+func (t *Table) shrink() {
+	t.rows-- // want "write to lockdiscipline.rows without mu held"
+}
+
+func (t *Table) Remove() {
+	t.mu.Lock()
+	t.shrink()
+	t.mu.Unlock()
+}
+
+// Compact forgets the lock before calling shrink.
+func (t *Table) Compact() {
+	t.shrink()
+}

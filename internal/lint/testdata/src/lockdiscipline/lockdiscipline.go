@@ -1,0 +1,123 @@
+// Package lockdiscipline exercises guard inference: majority-locked access
+// sites imply a guard, minority unlocked accesses are flagged, annotations
+// override the vote, and constructors are exempt.
+package lockdiscipline
+
+import "sync"
+
+// Counter's n is locked at 3 of 5 access sites — majority infers mu.
+type Counter struct {
+	mu sync.Mutex
+	n  int // want "field lockdiscipline.n is .*by mu .*does not record the invariant"
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *Counter) Dec() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n--
+}
+
+func (c *Counter) Set(v int) {
+	c.mu.Lock()
+	c.n = v
+	c.mu.Unlock()
+}
+
+// Peek is the true positive: an unlocked read of a majority-locked field.
+func (c *Counter) Peek() int {
+	return c.n // want "read of lockdiscipline.n without mu held"
+}
+
+// Racy is the annotated negative: a justified allow suppresses the finding.
+func (c *Counter) Racy() int {
+	//lint:allow lockdiscipline fixture: approximate stat read is fine off the hot path
+	return c.n
+}
+
+// Gauge's v is locked at 3 of 4 sites; the fourth lives in the constructor,
+// which is exempt — the value is not shared yet.
+type Gauge struct {
+	mu sync.Mutex
+	v  int // want "field lockdiscipline.v is .*by mu .*does not record"
+}
+
+// NewGauge writes v unlocked: constructor exemption, no finding.
+func NewGauge(v int) *Gauge {
+	g := &Gauge{}
+	g.v = v
+	return g
+}
+
+func (g *Gauge) Bump() {
+	g.mu.Lock()
+	g.v++
+	g.mu.Unlock()
+}
+
+func (g *Gauge) Drop() {
+	g.mu.Lock()
+	g.v--
+	g.mu.Unlock()
+}
+
+func (g *Gauge) Zero() {
+	g.mu.Lock()
+	g.v = 0
+	g.mu.Unlock()
+}
+
+// Stats exercises RWMutex modes: reads accept RLock, writes need Lock.
+type Stats struct {
+	rw  sync.RWMutex
+	avg float64 // want "field lockdiscipline.avg is .*by rw .*does not record"
+}
+
+func (s *Stats) SetA(v float64) {
+	s.rw.Lock()
+	s.avg = v
+	s.rw.Unlock()
+}
+
+func (s *Stats) SetB(v float64) {
+	s.rw.Lock()
+	defer s.rw.Unlock()
+	s.avg = v
+}
+
+// Read under RLock is the mode-aware negative.
+func (s *Stats) Read() float64 {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.avg
+}
+
+// BadWrite holds only the read lock for a write: flagged.
+func (s *Stats) BadWrite(v float64) {
+	s.rw.RLock()
+	s.avg = v // want "write to lockdiscipline.avg without rw held exclusively"
+	s.rw.RUnlock()
+}
+
+// Ledger's total carries a declared annotation: it wins even though the
+// majority vote alone could not infer a guard from one locked site.
+type Ledger struct {
+	mu    sync.Mutex
+	total int // guarded by mu
+}
+
+func (l *Ledger) Deposit(v int) {
+	l.mu.Lock()
+	l.total += v
+	l.mu.Unlock()
+}
+
+// Balance is flagged because of the declaration, not the vote.
+func (l *Ledger) Balance() int {
+	return l.total // want "read of lockdiscipline.total without mu held .*declared on the field"
+}

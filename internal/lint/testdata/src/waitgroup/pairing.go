@@ -1,0 +1,43 @@
+package waitgroup
+
+import "sync"
+
+// NoDone is the pairing positive: Add with no Done anywhere in the module.
+// The finding lands on the class's first operation.
+func NoDone() {
+	var wg sync.WaitGroup
+	wg.Add(1) // want "has Add but no Done anywhere in the module"
+	go work()
+	wg.Wait()
+}
+
+// WaitOnly waits on a WaitGroup nothing was ever added to: Wait is a no-op
+// and the goroutines it should gate are unguarded.
+func WaitOnly() {
+	var wg sync.WaitGroup
+	go work()
+	wg.Wait() // want "Waited on but never Added to"
+}
+
+// DoneOnly panics at runtime: Done on a zero counter.
+func DoneOnly() {
+	var wg sync.WaitGroup
+	wg.Done() // want "has Done but no Add anywhere in the module"
+}
+
+// Rendezvous is the annotated negative: the Add inside the goroutine is
+// ordered before Wait by the channel handshake, and the author vouches for
+// the deviation.
+func Rendezvous() {
+	var wg sync.WaitGroup
+	ready := make(chan struct{}, 1)
+	go func() {
+		//lint:allow waitgroup fixture: the ready handshake orders this Add before Wait
+		wg.Add(1)
+		ready <- struct{}{}
+		defer wg.Done()
+		work()
+	}()
+	<-ready
+	wg.Wait()
+}

@@ -1,0 +1,90 @@
+// Package waitgroup exercises WaitGroup protocol checking: Add placement,
+// Done coverage on every path, and module-wide Add/Done/Wait pairing.
+package waitgroup
+
+import "sync"
+
+// Canonical is the clean pattern: Add before the spawn, deferred Done.
+func Canonical(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// AddInside is the true positive: Add races Wait from inside the goroutine.
+func AddInside() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want "wg.Add inside the spawned goroutine races Wait"
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// AddInHelper is the interprocedural positive: the goroutine reaches the Add
+// through a helper call.
+func AddInHelper() {
+	var wg sync.WaitGroup
+	go func() {
+		register(&wg)
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func register(wg *sync.WaitGroup) {
+	wg.Add(1) // want "wg.Add inside the spawned goroutine races Wait"
+}
+
+// EarlyReturn is the skipped-Done positive: the error path returns before
+// the non-deferred Done, so Wait hangs.
+func EarlyReturn(fail bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		if fail {
+			return // want "return before wg.Done on this path"
+		}
+		work()
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// DeferredDone is the negative for the same shape: defer covers every path.
+func DeferredDone(fail bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if fail {
+			return
+		}
+		work()
+	}()
+	wg.Wait()
+}
+
+// HelperDone is the interprocedural pairing negative: the Done lives in a
+// helper the WaitGroup pointer flows into, unified by alias classes.
+func HelperDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(&wg)
+	wg.Wait()
+}
+
+func worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	work()
+}
+
+func work() {}

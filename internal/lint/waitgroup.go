@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+)
+
+// WaitGroup checks sync.WaitGroup protocol: Add must happen in the spawning
+// goroutine before the spawn (Add inside the spawned goroutine races Wait —
+// Wait can observe the counter at zero and return before the goroutine gets
+// scheduled); every body that calls a non-deferred Done must not return
+// before reaching it (an early error return skips Done and Wait hangs); and
+// Add/Done/Wait must pair up module-wide per WaitGroup alias class. Alias
+// classes follow pointer flow, so a *sync.WaitGroup handed to a helper
+// unifies with its caller's and a Done inside the helper counts.
+var WaitGroup = &Analyzer{
+	Name: "waitgroup",
+	Doc: "Checks sync.WaitGroup protocol: Add before the spawn (never inside " +
+		"the spawned goroutine, where it races Wait), no return paths that " +
+		"skip a non-deferred Done, and module-wide Add/Done/Wait pairing per " +
+		"WaitGroup alias class. Suppress intentional protocol deviations " +
+		"with //lint:allow waitgroup <why>.",
+	NeedsProgram: true,
+	Run:          runWaitGroup,
+}
+
+func runWaitGroup(pass *Pass) error {
+	facts := pass.Prog.concurrency()
+	reach := facts.reachFromSpawns(pass.Prog)
+	inGoroutine := func(op wgOp) bool {
+		if op.spawn >= 0 {
+			return true
+		}
+		return op.fn != nil && reach[op.fn]
+	}
+
+	// Rule 1: Add inside the spawned goroutine (directly, or in a helper the
+	// goroutine calls — the interprocedural case).
+	for _, op := range facts.wgs {
+		if op.kind != wgAdd || op.pkg != pass.LintPkg || !inGoroutine(op) {
+			continue
+		}
+		pass.Report(op.pos,
+			"wg.Add inside the spawned goroutine races Wait (the counter can be observed at zero before this runs); call Add in the spawning function, before the go statement")
+	}
+
+	// Rule 2: a return before the first non-deferred Done in the same body
+	// skips the Done on that path and Wait never unblocks. Bodies with a
+	// deferred Done are exempt (that is the fix this rule suggests), and the
+	// rule only applies in goroutine context — sequential code that returns
+	// before a Done is doing ordinary control flow, not breaking a handoff.
+	type bodyDone struct {
+		first    token.Pos
+		deferred bool
+		inGo     bool
+	}
+	dones := make(map[token.Pos]*bodyDone)
+	var bodyOrder []token.Pos
+	for _, op := range facts.wgs {
+		if op.kind != wgDone || op.pkg != pass.LintPkg {
+			continue
+		}
+		bd := dones[op.body]
+		if bd == nil {
+			bd = &bodyDone{first: token.Pos(-1)}
+			dones[op.body] = bd
+			bodyOrder = append(bodyOrder, op.body)
+		}
+		if op.deferred {
+			bd.deferred = true
+		} else if bd.first == token.Pos(-1) || op.pos < bd.first {
+			bd.first = op.pos
+		}
+		if inGoroutine(op) {
+			bd.inGo = true
+		}
+	}
+	for _, body := range bodyOrder {
+		bd := dones[body]
+		if bd.deferred || bd.first == token.Pos(-1) || !bd.inGo {
+			continue
+		}
+		for _, ret := range facts.rets {
+			if ret.pkg != pass.LintPkg || ret.body != body {
+				continue
+			}
+			if ret.pos < bd.first {
+				pass.Report(ret.pos,
+					"return before wg.Done on this path — Wait never unblocks; use `defer wg.Done()` at the top of the body")
+			}
+		}
+	}
+
+	// Rule 3: module-wide pairing per alias class. Report once per class, at
+	// the first op of the class that lives in this package, so exactly one
+	// package owns each finding.
+	u := facts.aliasClasses(pass.Prog, isWaitGroupObj)
+	type classOps struct {
+		adds, dones, waits int
+		first              token.Pos // globally first op (walk order)
+		firstPkg           *Package
+	}
+	classes := make(map[types.Object]*classOps)
+	var classOrder []types.Object
+	for _, op := range facts.wgs {
+		r := u.find(op.obj)
+		c := classes[r]
+		if c == nil {
+			c = &classOps{first: op.pos, firstPkg: op.pkg}
+			classes[r] = c
+			classOrder = append(classOrder, r)
+		}
+		switch op.kind {
+		case wgAdd:
+			c.adds++
+		case wgDone:
+			c.dones++
+		case wgWait:
+			c.waits++
+		}
+	}
+	for _, r := range classOrder {
+		c := classes[r]
+		if c.firstPkg != pass.LintPkg {
+			continue // the package of the first op owns the finding
+		}
+		switch {
+		case c.waits > 0 && c.adds == 0:
+			pass.Report(c.first, fmt.Sprintf(
+				"%s is Waited on but never Added to — Wait returns immediately; the goroutines it should gate are unguarded", wgLabel(r)))
+		case c.adds > 0 && c.dones == 0:
+			pass.Report(c.first, fmt.Sprintf(
+				"%s has Add but no Done anywhere in the module — Wait hangs forever", wgLabel(r)))
+		case c.dones > 0 && c.adds == 0:
+			pass.Report(c.first, fmt.Sprintf(
+				"%s has Done but no Add anywhere in the module — Done panics on a zero counter", wgLabel(r)))
+		}
+	}
+	return nil
+}
+
+// wgLabel names a WaitGroup object for diagnostics.
+func wgLabel(o types.Object) string {
+	if v, ok := o.(*types.Var); ok && v.IsField() {
+		return "WaitGroup field " + fieldLabel(v)
+	}
+	return "WaitGroup " + o.Name()
+}

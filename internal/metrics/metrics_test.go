@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -218,5 +219,47 @@ func TestPublisher(t *testing.T) {
 	p.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
 	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "counter n 1") {
 		t.Fatalf("served %d: %q", rec.Code, rec.Body.String())
+	}
+}
+
+// TestPublisherConcurrentServe hammers the publish/serve pair from many
+// goroutines: one publisher thread racing many HTTP readers, the way the
+// /metrics endpoint races the simulation loop. The atomic snapshot swap plus
+// fresh value copies from Recorder.Snapshot must keep this clean under -race.
+func TestPublisherConcurrentServe(t *testing.T) {
+	var p Publisher
+	r := New(Config{PhaseHook: p.Hook()})
+	n := r.Counter("n")
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := httptest.NewRecorder()
+				p.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+				if rec.Code != 200 && rec.Code != 503 {
+					t.Errorf("served %d", rec.Code)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		n.Inc()
+		r.Phase("simulate") // publishes a fresh snapshot each transition
+	}
+	close(stop)
+	wg.Wait()
+
+	if s := p.Latest(); s == nil || !strings.Contains(s.Text(), "counter n 200") {
+		t.Fatalf("final snapshot wrong: %v", p.Latest())
 	}
 }

@@ -118,7 +118,7 @@ type Suite struct {
 	resolve func(spec string, cores int, g geom.Geometry, seed uint64) ([]workload.Profile, error)
 
 	mu    sync.Mutex
-	cache map[RunSpec]*runEntry
+	cache map[RunSpec]*runEntry // guarded by mu
 }
 
 type runEntry struct {
@@ -204,6 +204,9 @@ func (s *Suite) Prefetch(specs []RunSpec) error {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				// Each index is delivered to exactly one worker, so errs[i]
+				// has a single writer and wg.Wait orders it before the read.
+				//lint:allow goroutineescape distinct-index writes, one writer per slot, sequenced by wg.Wait
 				_, errs[i] = s.Run(specs[i])
 			}
 		}()
