@@ -1,6 +1,6 @@
 # Convenience targets mirroring the CI jobs (.github/workflows/ci.yml).
 
-.PHONY: all build test race race-concurrency lint ci profile bench benchdiff check-paranoid check-replay
+.PHONY: all build test race race-concurrency lint ci profile bench bench-mapping benchdiff check-paranoid check-replay
 
 all: build test
 
@@ -34,6 +34,13 @@ ci: build test race lint
 # absolute numbers depend on the machine.
 bench:
 	go test -bench . -benchmem -run '^$$' ./... | go run ./cmd/benchjson > BENCH_sim.json
+
+# Just the translation microbenchmarks: scalar and batched mapper surfaces
+# and the K-Cipher ladder. Quick feedback when touching mapping/cipher code
+# without re-running the end-to-end sweeps.
+bench-mapping:
+	go test -bench 'Map|Cipher|Encrypt|Decrypt' -benchmem -run '^$$' \
+		./internal/mapping ./internal/kcipher ./internal/core
 
 # Regression gate against the committed baseline: generous ns/op tolerance
 # (wall time is machine-dependent), strict allocs/op (allocation counts are

@@ -6,6 +6,39 @@ import (
 	"rubix"
 )
 
+// ExampleNewMapper translates a burst of consecutive lines through Rubix-S
+// with one batched call — the shape the simulated memory controller uses
+// for a core's miss burst — and inverts it with the matching UnmapBatch.
+// Consecutive gangs of 4 lines stay together; the gangs themselves scatter.
+func ExampleNewMapper() {
+	g := rubix.DefaultGeometry()
+	m, err := rubix.NewMapper("rubixs-gs4", g, 42)
+	if err != nil {
+		fmt.Println("mapper:", err)
+		return
+	}
+	lines := []uint64{0, 1, 2, 3, 4, 5, 6, 7}
+	phys := make([]uint64, len(lines))
+	m.MapBatch(lines, phys)
+
+	back := make([]uint64, len(phys))
+	m.UnmapBatch(phys, back)
+
+	fmt.Println("gang 0 contiguous:", phys[1] == phys[0]+1 && phys[3] == phys[0]+3)
+	fmt.Println("gang 1 contiguous:", phys[5] == phys[4]+1 && phys[7] == phys[4]+3)
+	fmt.Println("gangs scattered:", phys[4] != phys[0]+4)
+	roundTrip := true
+	for i := range back {
+		roundTrip = roundTrip && back[i] == lines[i]
+	}
+	fmt.Println("round trip exact:", roundTrip)
+	// Output:
+	// gang 0 contiguous: true
+	// gang 1 contiguous: true
+	// gangs scattered: true
+	// round trip exact: true
+}
+
 // ExampleSuite_Prefetch warms the suite cache for a set of configurations
 // in parallel, then reads one result back instantly. Prefetch accepts the
 // same RunSpec values as Suite.Run, so a caller can enumerate a whole

@@ -40,8 +40,8 @@ func main() {
 	}
 
 	fmt.Printf("Mapping explorer: 4x %s on %s (unprotected, T_RH census at 128)\n\n", wl, g)
-	fmt.Printf("%-18s %8s %8s %10s %10s %12s  %s\n",
-		"mapping", "IPC", "RBHR", "ACT-64+", "ACT-512+", "power", "SRAM")
+	fmt.Printf("%-18s %8s %8s %10s %10s %12s %9s  %s\n",
+		"mapping", "IPC", "RBHR", "ACT-64+", "ACT-512+", "power", "rows/128", "SRAM")
 
 	var baseIPC float64
 	for i, m := range mappings {
@@ -64,10 +64,34 @@ func main() {
 		if i == 0 {
 			baseIPC = res.MeanIPC
 		}
-		fmt.Printf("%-18s %8.3f %7.1f%% %10d %10d %9.0f mW  %s\n",
+		fmt.Printf("%-18s %8.3f %7.1f%% %10d %10d %9.0f mW %9d  %s\n",
 			m.name, res.MeanIPC, 100*res.HitRate(),
-			res.DRAM.TotalHot64(), res.DRAM.TotalHot512(), res.PowerMW, m.storage)
+			res.DRAM.TotalHot64(), res.DRAM.TotalHot512(), res.PowerMW,
+			rowSpread(g, m.name), m.storage)
 	}
 	fmt.Printf("\n(IPC normalized to coffeelake = %.3f; hot rows are what drive mitigation\n", baseIPC)
-	fmt.Println("cost at low Rowhammer thresholds — the Rubix rows should be near zero.)")
+	fmt.Println("cost at low Rowhammer thresholds — the Rubix rows should be near zero.")
+	fmt.Println("rows/128 = distinct rows hit by 128 consecutive lines: 1 keeps a page pair")
+	fmt.Println("in one row buffer, 128 is full randomization.)")
+}
+
+// rowSpread counts the distinct rows that 128 consecutive lines land in —
+// the spatial-locality signature of a mapping — using the batched
+// translation surface: one MapBatch call instead of 128 Map calls.
+func rowSpread(g rubix.Geometry, name string) int {
+	m, err := rubix.NewMapper(name, g, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lines := make([]uint64, 128)
+	phys := make([]uint64, len(lines))
+	for i := range lines {
+		lines[i] = uint64(i)
+	}
+	m.MapBatch(lines, phys)
+	rows := map[uint64]bool{}
+	for _, p := range phys {
+		rows[g.GlobalRow(p)] = true
+	}
+	return len(rows)
 }

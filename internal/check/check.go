@@ -85,11 +85,12 @@ type bankClock struct {
 type Checker struct {
 	mu sync.Mutex
 
-	cfg    Config           // guarded by mu
-	geo    geom.Geometry    // guarded by mu
-	mapper mapping.Mapper   // guarded by mu
-	inv    mapping.Inverter // guarded by mu
-	gt     GroupTranslator  // guarded by mu
+	cfg    Config             // guarded by mu
+	geo    geom.Geometry      // guarded by mu
+	mapper mapping.Mapper     // guarded by mu
+	inv    mapping.Inverter   // guarded by mu; nil under the reduced AttachMapper surface
+	full   mapping.FullMapper // guarded by mu; batch surface, nil under AttachMapper
+	gt     GroupTranslator    // guarded by mu
 
 	tick  uint64 // accesses seen; drives sampling; guarded by mu
 	probe uint64 // deterministic mixer state for synthetic probe addresses; guarded by mu
@@ -135,9 +136,14 @@ func (c *Checker) violate(kind, format string, args ...any) {
 	c.violations = append(c.violations, Violation{Kind: kind, Detail: fmt.Sprintf(format, args...)})
 }
 
-// AttachMapper gives the checker the run's geometry and mapper. The inverse
-// and group-translator views are resolved by type assertion; mappers that
-// lack them simply skip the corresponding checks.
+// AttachMapper gives the checker the run's geometry and a forward-only
+// mapper: range checks, the collision window, and (when the mapper provides
+// the GroupTranslator view) epoch-completeness checks run; round-trip and
+// batch≡scalar spot checks need the full translation surface — use
+// AttachFullMapper for those. This reduced surface exists for deliberately
+// broken or partial mappers (differential test doubles, external
+// experiments); every mapper in this repository implements
+// mapping.FullMapper and should attach through AttachFullMapper.
 func (c *Checker) AttachMapper(g geom.Geometry, m mapping.Mapper) {
 	if c == nil {
 		return
@@ -146,7 +152,29 @@ func (c *Checker) AttachMapper(g geom.Geometry, m mapping.Mapper) {
 	defer c.mu.Unlock()
 	c.geo = g
 	c.mapper = m
-	c.inv, _ = m.(mapping.Inverter)
+	c.inv = nil
+	c.full = nil
+	c.gt, _ = m.(GroupTranslator)
+}
+
+// AttachFullMapper gives the checker the run's geometry and the complete
+// translation surface — scalar and batched, both directions — enabling
+// every mapping check: range, collision window, Unmap round trips,
+// synthetic probes, and the batch≡scalar agreement probe. This is the
+// production attach path (sim.Run uses it); no capability type assertions
+// are needed because sim.MapperFor returns mapping.FullMapper. Only the
+// GroupTranslator view, a checker-local extension for Rubix-D epoch
+// checks, is still probed.
+func (c *Checker) AttachFullMapper(g geom.Geometry, m mapping.FullMapper) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.geo = g
+	c.mapper = m
+	c.inv = m
+	c.full = m
 	c.gt, _ = m.(GroupTranslator)
 }
 
@@ -186,9 +214,37 @@ func (c *Checker) checkMapping(line, phys uint64) {
 			if back := c.inv.Unmap(c.mapper.Map(x)); back != x {
 				c.violate("bijection", "%s: Unmap(Map(%#x)) = %#x (synthetic probe)", c.name(), x, back)
 			}
+			if c.full != nil {
+				c.checkBatchAgreement(line, x)
+			}
 		}
 	}
 	c.windowInsert(line, phys)
+}
+
+// checkBatchAgreement spot-checks the batched translation surface against
+// the scalar one: MapBatch/UnmapBatch must agree with Map/Unmap element for
+// element under the mapping state at call time (DESIGN.md §12). The probe
+// runs synchronously inside the access path, so no remap episode can slip
+// between the batch and scalar evaluations. Callers must hold c.mu.
+func (c *Checker) checkBatchAgreement(line, x uint64) {
+	in := [2]uint64{line, x}
+	var fwd, back [2]uint64
+	c.full.MapBatch(in[:], fwd[:])
+	for i, l := range in {
+		if want := c.mapper.Map(l); fwd[i] != want {
+			c.violate("batch", "%s: MapBatch(%#x) = %#x, scalar Map = %#x", c.name(), l, fwd[i], want)
+		}
+	}
+	c.full.UnmapBatch(fwd[:], back[:])
+	for i, l := range in {
+		if want := c.inv.Unmap(fwd[i]); back[i] != want {
+			c.violate("batch", "%s: UnmapBatch(%#x) = %#x, scalar Unmap = %#x", c.name(), fwd[i], back[i], want)
+		}
+		if back[i] != l {
+			c.violate("batch", "%s: batch round trip lost line %#x (got %#x)", c.name(), l, back[i])
+		}
+	}
 }
 
 func (c *Checker) name() string {

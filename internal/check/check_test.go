@@ -32,6 +32,7 @@ func tinyRubixDGeom(t testing.TB) geom.Geometry {
 func TestNilCheckerHooksAreSafe(t *testing.T) {
 	var c *Checker
 	c.AttachMapper(geom.Geometry{}, nil)
+	c.AttachFullMapper(geom.Geometry{}, nil)
 	c.OnMap(1, 2)
 	c.OnControllerACT()
 	c.OnCensusACT(true)
@@ -45,19 +46,56 @@ func TestNilCheckerHooksAreSafe(t *testing.T) {
 	}
 }
 
-// badInverter round-trips wrongly: Unmap is off by one.
+// badInverter round-trips wrongly: Unmap is off by one. Its batch surface
+// is a faithful scalar loop, so only the bijection check fires on it.
 type badInverter struct{}
 
 func (badInverter) Name() string             { return "BadInverter" }
 func (badInverter) Map(line uint64) uint64   { return line }
 func (badInverter) Unmap(phys uint64) uint64 { return phys + 1 }
+func (m badInverter) MapBatch(lines, phys []uint64) {
+	for i, l := range lines {
+		phys[i] = m.Map(l)
+	}
+}
+func (m badInverter) UnmapBatch(phys, lines []uint64) {
+	for i, p := range phys {
+		lines[i] = m.Unmap(p)
+	}
+}
 
 func TestBijectionRoundTripViolation(t *testing.T) {
 	c := New(Config{SampleEvery: 1})
-	c.AttachMapper(smallGeom(t), badInverter{})
+	c.AttachFullMapper(smallGeom(t), badInverter{})
 	c.OnMap(5, 5)
 	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "bijection") {
 		t.Fatalf("want bijection violation, got %v", err)
+	}
+}
+
+// divergingBatch has a correct scalar surface (identity, self-inverse) but a
+// MapBatch that disagrees with Map on every element — the failure class the
+// batch≡scalar spot check exists for.
+type divergingBatch struct{}
+
+func (divergingBatch) Name() string             { return "DivergingBatch" }
+func (divergingBatch) Map(line uint64) uint64   { return line }
+func (divergingBatch) Unmap(phys uint64) uint64 { return phys }
+func (divergingBatch) MapBatch(lines, phys []uint64) {
+	for i, l := range lines {
+		phys[i] = l ^ 1
+	}
+}
+func (divergingBatch) UnmapBatch(phys, lines []uint64) {
+	copy(lines, phys)
+}
+
+func TestBatchScalarDivergenceViolation(t *testing.T) {
+	c := New(Config{SampleEvery: 1})
+	c.AttachFullMapper(smallGeom(t), divergingBatch{})
+	c.OnMap(5, 5)
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "batch") {
+		t.Fatalf("want batch violation, got %v", err)
 	}
 }
 
@@ -186,7 +224,7 @@ func TestEpochCompletenessCleanOnRealRubixD(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := New(Config{SampleEvery: 1})
-	c.AttachMapper(g, d)
+	c.AttachFullMapper(g, d)
 	d.SetRemapObserver(c)
 	for i := 0; i < 8; i++ { // 3 row-addr bits: 8 episodes complete the epoch
 		d.NoteActivation(0)
@@ -274,7 +312,7 @@ func TestWrapMitigatorCausality(t *testing.T) {
 
 func TestMaxViolationsCap(t *testing.T) {
 	c := New(Config{SampleEvery: 1, MaxViolations: 2})
-	c.AttachMapper(smallGeom(t), badInverter{})
+	c.AttachFullMapper(smallGeom(t), badInverter{})
 	for i := uint64(0); i < 10; i++ {
 		c.OnMap(i, i)
 	}
@@ -293,7 +331,7 @@ func TestCheckerAcceptsRealMappers(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := New(Config{SampleEvery: 1})
-	c.AttachMapper(g, cl)
+	c.AttachFullMapper(g, cl)
 	for line := uint64(0); line < g.TotalLines(); line++ {
 		c.OnMap(line, cl.Map(line))
 	}
@@ -334,7 +372,7 @@ func TestCheckerConcurrentHooks(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := New(Config{SampleEvery: 1, WindowLines: 64})
-	c.AttachMapper(g, cl)
+	c.AttachFullMapper(g, cl)
 	w := WrapMitigator(c, inertMit{})
 
 	var wg sync.WaitGroup

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"testing"
+
+	"rubix/internal/geom"
+	"rubix/internal/kcipher"
+)
+
+// sampleLines draws a deterministic golden-ratio-stride sample of the line
+// space, the same pattern the mapping package's bijection tests use.
+func sampleLines(g geom.Geometry, n int) []uint64 {
+	mask := g.TotalLines() - 1
+	lines := make([]uint64, n)
+	for i := range lines {
+		lines[i] = uint64(i) * 0x9e37_79b9_7f4a_7c15 & mask
+	}
+	return lines
+}
+
+// TestRubixSBatchMatchesScalar: MapBatch stages gang addresses through the
+// cipher's batch ladder; the result must match the scalar path element for
+// element at every gang size.
+func TestRubixSBatchMatchesScalar(t *testing.T) {
+	g := geom.DDR4_16GB()
+	for _, gs := range []int{1, 2, 4} {
+		m, err := NewRubixS(g, gs, kcipher.KeyFromSeed(21))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := sampleLines(g, 1<<12)
+		phys := make([]uint64, len(lines))
+		m.MapBatch(lines, phys)
+		for i, line := range lines {
+			if want := m.Map(line); phys[i] != want {
+				t.Fatalf("GS%d: MapBatch[%d](%#x) = %#x, scalar = %#x", gs, i, line, phys[i], want)
+			}
+		}
+		back := make([]uint64, len(phys))
+		m.UnmapBatch(phys, back)
+		for i := range phys {
+			if back[i] != lines[i] {
+				t.Fatalf("GS%d: UnmapBatch[%d] = %#x, want %#x", gs, i, back[i], lines[i])
+			}
+		}
+	}
+}
+
+// TestStaticXORBatchMatchesScalar covers the Rubix-D ablation mapper.
+func TestStaticXORBatchMatchesScalar(t *testing.T) {
+	g := geom.DDR4_16GB()
+	m, err := NewStaticXOR(g, 4, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := sampleLines(g, 1<<12)
+	phys := make([]uint64, len(lines))
+	m.MapBatch(lines, phys)
+	for i, line := range lines {
+		if want := m.Map(line); phys[i] != want {
+			t.Fatalf("MapBatch[%d](%#x) = %#x, scalar = %#x", i, line, phys[i], want)
+		}
+	}
+	back := make([]uint64, len(phys))
+	m.UnmapBatch(phys, back)
+	for i := range phys {
+		if back[i] != lines[i] {
+			t.Fatalf("UnmapBatch[%d] = %#x, want %#x", i, back[i], lines[i])
+		}
+	}
+}
+
+// TestRubixDBatchMatchesScalarQuiescent: with no remap episodes between the
+// calls, MapBatch/UnmapBatch are exact scalar equivalents.
+func TestRubixDBatchMatchesScalarQuiescent(t *testing.T) {
+	g := geom.DDR4_16GB()
+	m, err := NewRubixD(g, RubixDConfig{GangSize: 4, RemapRate: 0.01, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := sampleLines(g, 1<<12)
+	phys := make([]uint64, len(lines))
+	m.MapBatch(lines, phys)
+	for i, line := range lines {
+		if want := m.Map(line); phys[i] != want {
+			t.Fatalf("MapBatch[%d](%#x) = %#x, scalar = %#x", i, line, phys[i], want)
+		}
+	}
+	back := make([]uint64, len(phys))
+	m.UnmapBatch(phys, back)
+	for i := range phys {
+		if back[i] != lines[i] {
+			t.Fatalf("UnmapBatch[%d] = %#x, want %#x", i, back[i], lines[i])
+		}
+	}
+}
+
+// TestRubixDGenerationTracksRemaps: Generation must advance on every remap
+// episode — swaps AND skips, because the pointer advance alone moves the
+// translate() boundary — and hold still otherwise. This is the signal the
+// memory controller's AccessBatch uses to invalidate pre-translations.
+func TestRubixDGenerationTracksRemaps(t *testing.T) {
+	g := geom.DDR4_16GB()
+	m, err := NewRubixD(g, RubixDConfig{GangSize: 4, RemapRate: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	episodes := uint64(0)
+	for i := uint64(0); i < 200; i++ {
+		before := m.Generation()
+		m.NoteActivation(i * 4096)
+		episodes++
+		if got := m.Generation(); got != before+1 {
+			t.Fatalf("activation %d: generation %d -> %d, want +1 per episode at rate 1",
+				i, before, got)
+		}
+	}
+	if m.Generation() != episodes {
+		t.Fatalf("generation %d, want %d", m.Generation(), episodes)
+	}
+	if m.Swaps()+m.Skips() != episodes {
+		t.Fatalf("swaps %d + skips %d != %d episodes", m.Swaps(), m.Skips(), episodes)
+	}
+
+	// Rate 0: translation-only traffic must never move the generation.
+	frozen, err := NewRubixD(g, RubixDConfig{GangSize: 4, RemapRate: 0, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		frozen.Map(i * 977)
+		frozen.NoteActivation(i * 4096)
+	}
+	if frozen.Generation() != 0 {
+		t.Fatal("generation moved without a remap episode")
+	}
+}
+
+// TestRubixDBatchStaleAfterRemap pins the staleness contract down: a batch
+// translated before a remap episode must disagree with the live mapping on
+// at least one line of the remapped circuit, and re-translating after the
+// generation bump restores agreement. A tiny geometry (1 Ki lines, 128 row
+// addresses per circuit, translated exhaustively) makes the boundary cross
+// a translated line within a handful of episodes.
+func TestRubixDBatchStaleAfterRemap(t *testing.T) {
+	g, err := geom.New(1, 1, 2, 64, 512, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewRubixD(g, RubixDConfig{GangSize: 4, RemapRate: 1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := make([]uint64, g.TotalLines())
+	for i := range lines {
+		lines[i] = uint64(i)
+	}
+	before := make([]uint64, len(lines))
+	m.MapBatch(lines, before)
+
+	// Force remap episodes until the pre-translated batch goes stale.
+	stale := false
+	for i := uint64(0); i < 4096 && !stale; i++ {
+		m.NoteActivation(lines[i%uint64(len(lines))])
+		for j, line := range lines {
+			if m.Map(line) != before[j] {
+				stale = true
+				break
+			}
+		}
+	}
+	if !stale {
+		t.Fatal("thousands of remap episodes never invalidated a cached translation")
+	}
+	// Re-translation under the new generation restores exact agreement.
+	after := make([]uint64, len(lines))
+	m.MapBatch(lines, after)
+	for j, line := range lines {
+		if m.Map(line) != after[j] {
+			t.Fatalf("re-translated batch entry %d still stale", j)
+		}
+	}
+}
+
+func BenchmarkRubixSMapBatch(b *testing.B) {
+	g := geom.DDR4_16GB()
+	m, err := NewRubixS(g, 4, kcipher.KeyFromSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchBatchMapper(b, g, m.MapBatch)
+}
+
+func BenchmarkRubixDMapBatch(b *testing.B) {
+	g := geom.DDR4_16GB()
+	m, err := NewRubixD(g, RubixDConfig{GangSize: 4, RemapRate: 0.01, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchBatchMapper(b, g, m.MapBatch)
+}
+
+func BenchmarkStaticXORMapBatch(b *testing.B) {
+	g := geom.DDR4_16GB()
+	m, err := NewStaticXOR(g, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchBatchMapper(b, g, m.MapBatch)
+}
+
+func benchBatchMapper(b *testing.B, g geom.Geometry, mapBatch func(lines, phys []uint64)) {
+	b.Helper()
+	lines := sampleLines(g, 256)
+	phys := make([]uint64, len(lines))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mapBatch(lines, phys)
+	}
+}

@@ -56,10 +56,7 @@ type RubixS struct {
 	cipher   *kcipher.Cipher
 }
 
-var (
-	_ mapping.Mapper   = (*RubixS)(nil)
-	_ mapping.Inverter = (*RubixS)(nil)
-)
+var _ mapping.FullMapper = (*RubixS)(nil)
 
 // NewRubixS builds Rubix-S for geometry g with the given gang size and
 // cipher key. The cipher width is the line-address width minus the gang
@@ -104,6 +101,33 @@ func (m *RubixS) Unmap(phys uint64) uint64 {
 	return m.cipher.Decrypt(gang)<<m.gangBits | phys&m.gangMask
 }
 
+// MapBatch implements mapping.BatchMapper: the gang addresses are staged
+// into phys, encrypted in one ladder walk with the round schedule in
+// registers, then recombined with the untouched line-in-gang bits. The
+// staging is why lines and phys must not overlap.
+func (m *RubixS) MapBatch(lines, phys []uint64) {
+	phys = phys[:len(lines)]
+	for i, line := range lines {
+		phys[i] = line >> m.gangBits
+	}
+	m.cipher.EncryptBatch(phys, phys)
+	for i, line := range lines {
+		phys[i] = phys[i]<<m.gangBits | line&m.gangMask
+	}
+}
+
+// UnmapBatch implements mapping.BatchInverter.
+func (m *RubixS) UnmapBatch(phys, lines []uint64) {
+	lines = lines[:len(phys)]
+	for i, p := range phys {
+		lines[i] = p >> m.gangBits
+	}
+	m.cipher.DecryptBatch(lines, lines)
+	for i, p := range phys {
+		lines[i] = lines[i]<<m.gangBits | p&m.gangMask
+	}
+}
+
 // StorageBytes reports the SRAM cost: one 96-bit key (the paper reports
 // "just 16 bytes of storage" for key plus cipher state).
 func (m *RubixS) StorageBytes() int { return 16 }
@@ -144,16 +168,14 @@ type RubixD struct {
 	rng       *rng.Xoshiro256
 	swaps     uint64 // total swap operations performed
 	skips     uint64 // remap events skipped (already-remapped location)
+	gen       uint64 // remap episodes completed; see Generation
 	obs       RemapObserver
 
 	mSwaps *metrics.Counter
 	mSkips *metrics.Counter
 }
 
-var (
-	_ mapping.Mapper   = (*RubixD)(nil)
-	_ mapping.Inverter = (*RubixD)(nil)
-)
+var _ mapping.FullMapper = (*RubixD)(nil)
 
 // RubixDConfig configures NewRubixD.
 type RubixDConfig struct {
@@ -332,6 +354,32 @@ func (d *RubixD) Unmap(phys uint64) uint64 {
 	return d.join(untranslate(gs, rowAddr), seg, vgroup, lig)
 }
 
+// MapBatch implements mapping.BatchMapper. The whole batch is translated
+// under the circuit state at call time: a remap episode between the call
+// and the use of an entry invalidates it. Callers that can trigger remaps
+// mid-batch (the memory controller's activation feedback) must watch
+// Generation and re-translate the not-yet-consumed tail when it advances.
+func (d *RubixD) MapBatch(lines, phys []uint64) {
+	phys = phys[:len(lines)]
+	for i, line := range lines {
+		phys[i] = d.Map(line)
+	}
+}
+
+// UnmapBatch implements mapping.BatchInverter, under the same staleness
+// contract as MapBatch.
+func (d *RubixD) UnmapBatch(phys, lines []uint64) {
+	lines = lines[:len(phys)]
+	for i, p := range phys {
+		lines[i] = d.Unmap(p)
+	}
+}
+
+// Generation counts remap episodes: it advances every time any circuit's
+// translation changes, so cached translations (batch pre-translation, the
+// paranoid-mode collision window) are valid exactly while it holds still.
+func (d *RubixD) Generation() uint64 { return d.gen }
+
 // NoteActivation must be called by the memory controller on every row
 // activation caused by a demand access to physical line phys. With
 // probability RemapRate it performs one remap episode for the activated
@@ -352,6 +400,7 @@ func (d *RubixD) NoteActivation(phys uint64) (op SwapOp, ok bool) {
 // gang at Ptr with its destination unless the location was already remapped,
 // then advance Ptr, rolling the epoch when the walk completes.
 func (d *RubixD) remapStep(vgroup, seg uint64) (op SwapOp, ok bool) {
+	d.gen++
 	gs := d.group(vgroup, seg)
 	src := gs.ptr
 	dst := src ^ gs.nextKey
@@ -432,10 +481,7 @@ type StaticXOR struct {
 	keys     []uint64 // one per v-group
 }
 
-var (
-	_ mapping.Mapper   = (*StaticXOR)(nil)
-	_ mapping.Inverter = (*StaticXOR)(nil)
-)
+var _ mapping.FullMapper = (*StaticXOR)(nil)
 
 // NewStaticXOR builds the §6.2 keyed-XOR mapping.
 func NewStaticXOR(g geom.Geometry, gangSize int, seed uint64) (*StaticXOR, error) {
@@ -474,3 +520,14 @@ func (m *StaticXOR) Map(line uint64) uint64 {
 
 // Unmap implements mapping.Inverter (XOR is an involution).
 func (m *StaticXOR) Unmap(phys uint64) uint64 { return m.Map(phys) }
+
+// MapBatch implements mapping.BatchMapper.
+func (m *StaticXOR) MapBatch(lines, phys []uint64) {
+	phys = phys[:len(lines)]
+	for i, line := range lines {
+		phys[i] = m.Map(line)
+	}
+}
+
+// UnmapBatch implements mapping.BatchInverter (the mapping is an involution).
+func (m *StaticXOR) UnmapBatch(phys, lines []uint64) { m.MapBatch(phys, lines) }

@@ -6,7 +6,6 @@ import (
 
 	"rubix/internal/geom"
 	"rubix/internal/kcipher"
-	"rubix/internal/mapping"
 )
 
 // --- Rubix-S -----------------------------------------------------------------
@@ -428,8 +427,3 @@ func TestStaticXORIsXorLinear(t *testing.T) {
 	}
 }
 
-// Interface compliance.
-var (
-	_ mapping.Mapper   = (*RubixS)(nil)
-	_ mapping.Inverter = (*RubixD)(nil)
-)

@@ -43,6 +43,9 @@ type Core struct {
 	// dependent-chain workloads (low MLP) stall on every burst.
 	pending []float64 // completion times of in-flight bursts (ring)
 	pHead   int
+
+	lines    []uint64   // StepBatch burst scratch, capacity >= mlpCap
+	linesArr [16]uint64 // inline backing for lines at typical MLP (no heap alloc)
 }
 
 // New builds a core that will retire target instructions of the given
@@ -73,6 +76,11 @@ func New(id int, cfg Config, p workload.Profile, target uint64, seed uint64) *Co
 	} else {
 		c.pending = make([]float64, 1)
 	}
+	if mlp <= len(c.linesArr) {
+		c.lines = c.linesArr[:0]
+	} else {
+		c.lines = make([]uint64, 0, mlp)
+	}
 	return c
 }
 
@@ -82,6 +90,26 @@ func (c *Core) Done() bool { return c.Retired >= c.Target }
 // AccessFunc issues a memory access at a given time and returns its
 // completion time; the memory controller provides it.
 type AccessFunc func(line uint64, arrival float64) float64
+
+// BatchAccessFunc issues a batch of memory accesses, all arriving at the
+// same time — one core's MLP burst — and returns the latest completion
+// (at least arrival). The memory controller's AccessBatch provides it.
+type BatchAccessFunc func(lines []uint64, arrival float64) float64
+
+// Serial adapts a per-line AccessFunc to the batch shape by issuing the
+// batch one access at a time, in order, at the common arrival time. It is
+// the scalar reference the batch path is differentially tested against.
+func Serial(f AccessFunc) BatchAccessFunc {
+	return func(lines []uint64, arrival float64) float64 {
+		maxCompletion := arrival
+		for _, line := range lines {
+			if comp := f(line, arrival); comp > maxCompletion {
+				maxCompletion = comp
+			}
+		}
+		return maxCompletion
+	}
+}
 
 // Step simulates one memory-level-parallel episode: the compute gap leading
 // up to the next LLC miss, then a batch of overlapped misses. Misses that
@@ -109,6 +137,40 @@ func (c *Core) Step(access AccessFunc) {
 		c.Retired += uint64(g)
 		c.Now += float64(g) * c.cfg.BaseCPI / c.cfg.FreqGHz
 	}
+	c.finishBurst(maxCompletion)
+}
+
+// StepBatch is Step with the burst issued through one batched controller
+// call: the burst's addresses are collected first — generator and gap-RNG
+// draws interleave in exactly Step's order, and all misses of a burst carry
+// the same issue time there too — then handed to access as one batch.
+// Step(f) and StepBatch(Serial(f)) are byte-identical by construction
+// (TestStepBatchMatchesStep pins it).
+func (c *Core) StepBatch(access BatchAccessFunc) {
+	gap := c.rng.Geometric(c.meanGap)
+	c.Now += float64(gap) * c.cfg.BaseCPI / c.cfg.FreqGHz
+	c.Retired += uint64(gap)
+
+	issue := c.Now
+	c.lines = c.lines[:0]
+	for k := 0; ; k++ {
+		c.lines = append(c.lines, c.profile.Gen.Next())
+		if k+1 >= c.mlpCap || !c.profile.Gen.InBurst() {
+			break
+		}
+		// The compute between overlapped misses also overlaps with the
+		// outstanding memory time.
+		g := c.rng.Geometric(c.meanGap)
+		c.Retired += uint64(g)
+		c.Now += float64(g) * c.cfg.BaseCPI / c.cfg.FreqGHz
+	}
+	c.finishBurst(access(c.lines, issue))
+}
+
+// finishBurst retires one burst's completion time into the core clock: the
+// pending ring hides it behind newer bursts for high-MLP workloads, while
+// dependent-chain workloads stall on it immediately.
+func (c *Core) finishBurst(maxCompletion float64) {
 	if len(c.pending) > 1 {
 		// Stall on the oldest in-flight burst's completion; newer bursts
 		// drain while the core computes onward.

@@ -151,6 +151,67 @@ func TestMissRateMatchesMPKI(t *testing.T) {
 	}
 }
 
+// TestStepBatchMatchesStep is the differential oracle for the batch issue
+// path: with identical seeds and generator state, Step(f) and
+// StepBatch(Serial(f)) must produce the same clock, retirement count, and
+// the same (line, arrival) access sequence — byte-identical, not just
+// statistically equivalent. Covered shapes: bursty high-MLP (pipelined
+// pending ring) and serial MLP-1 (stall on every miss).
+func TestStepBatchMatchesStep(t *testing.T) {
+	type access struct {
+		line    uint64
+		arrival float64
+	}
+	cases := []struct {
+		name string
+		prof func() workload.Profile
+	}{
+		{"bursty-mlp8", func() workload.Profile {
+			return workload.Profile{Gen: &fixedGen{group: 6, stride: 3}, MPKI: 10, MLP: 8}
+		}},
+		{"serial-mlp1", func() workload.Profile {
+			return workload.Profile{Gen: &fixedGen{stride: 7}, MPKI: 20, MLP: 1}
+		}},
+	}
+	// Line-dependent latency so any divergence in address order or issue
+	// time feeds back into the clock and compounds.
+	latency := func(line uint64, arrival float64) float64 {
+		return arrival + 30 + float64(line%7)*11
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var scalarLog, batchLog []access
+			scalar := New(0, DefaultConfig(), tc.prof(), 200_000, 42)
+			for !scalar.Done() {
+				scalar.Step(func(line uint64, arrival float64) float64 {
+					scalarLog = append(scalarLog, access{line, arrival})
+					return latency(line, arrival)
+				})
+			}
+			batch := New(0, DefaultConfig(), tc.prof(), 200_000, 42)
+			for !batch.Done() {
+				batch.StepBatch(Serial(func(line uint64, arrival float64) float64 {
+					batchLog = append(batchLog, access{line, arrival})
+					return latency(line, arrival)
+				}))
+			}
+			if scalar.Now != batch.Now || scalar.Retired != batch.Retired {
+				t.Fatalf("clocks diverged: scalar (%.6f, %d) vs batch (%.6f, %d)",
+					scalar.Now, scalar.Retired, batch.Now, batch.Retired)
+			}
+			if len(scalarLog) != len(batchLog) {
+				t.Fatalf("access counts diverged: %d vs %d", len(scalarLog), len(batchLog))
+			}
+			for i := range scalarLog {
+				if scalarLog[i] != batchLog[i] {
+					t.Fatalf("access %d diverged: scalar %+v vs batch %+v",
+						i, scalarLog[i], batchLog[i])
+				}
+			}
+		})
+	}
+}
+
 func TestDeterminism(t *testing.T) {
 	run := func() (uint64, float64) {
 		p := workload.Profile{Gen: &fixedGen{}, MPKI: 10, MLP: 4}

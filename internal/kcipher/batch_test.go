@@ -1,0 +1,105 @@
+package kcipher
+
+import (
+	"testing"
+
+	"rubix/internal/rng"
+)
+
+// TestEncryptBatchMatchesScalar: the batch ladder (unrolled round schedule)
+// must be ciphertext-identical to the scalar walk at every supported width.
+func TestEncryptBatchMatchesScalar(t *testing.T) {
+	key := KeyFromSeed(17)
+	for bits := uint(MinBits); bits <= MaxBits; bits++ {
+		c := MustNew(bits, key)
+		r := rng.NewXoshiro256(uint64(bits))
+		src := make([]uint64, 257) // odd length: not a multiple of anything
+		for i := range src {
+			src[i] = r.Uint64n(c.Domain())
+		}
+		dst := make([]uint64, len(src))
+		c.EncryptBatch(dst, src)
+		for i, x := range src {
+			if want := c.Encrypt(x); dst[i] != want {
+				t.Fatalf("width %d: EncryptBatch[%d](%#x) = %#x, scalar = %#x",
+					bits, i, x, dst[i], want)
+			}
+		}
+		back := make([]uint64, len(dst))
+		c.DecryptBatch(back, dst)
+		for i, y := range dst {
+			if want := c.Decrypt(y); back[i] != want {
+				t.Fatalf("width %d: DecryptBatch[%d](%#x) = %#x, scalar = %#x",
+					bits, i, y, back[i], want)
+			}
+			if back[i] != src[i] {
+				t.Fatalf("width %d: batch round trip lost %#x", bits, src[i])
+			}
+		}
+	}
+}
+
+// TestBatchInPlace: dst == src is explicitly allowed (the translation is
+// element-wise), which RubixS relies on to stage gang addresses in place.
+func TestBatchInPlace(t *testing.T) {
+	c := MustNew(26, KeyFromSeed(5))
+	r := rng.NewXoshiro256(99)
+	buf := make([]uint64, 64)
+	want := make([]uint64, 64)
+	for i := range buf {
+		buf[i] = r.Uint64n(c.Domain())
+		want[i] = c.Encrypt(buf[i])
+	}
+	c.EncryptBatch(buf, buf)
+	for i := range buf {
+		if buf[i] != want[i] {
+			t.Fatalf("in-place EncryptBatch[%d] = %#x, want %#x", i, buf[i], want[i])
+		}
+	}
+	c.DecryptBatch(buf, buf)
+	for i := range buf {
+		if c.Encrypt(buf[i]) != want[i] {
+			t.Fatalf("in-place DecryptBatch[%d] did not invert", i)
+		}
+	}
+}
+
+// TestBatchEmpty: zero-length batches are no-ops.
+func TestBatchEmpty(t *testing.T) {
+	c := MustNew(28, KeyFromSeed(1))
+	c.EncryptBatch(nil, nil)
+	c.DecryptBatch(nil, nil)
+}
+
+// TestBatchOutOfDomainPanics: the batch path keeps the scalar domain check.
+func TestBatchOutOfDomainPanics(t *testing.T) {
+	c := MustNew(8, KeyFromSeed(1))
+	for name, f := range map[string]func(){
+		"EncryptBatch": func() { c.EncryptBatch(make([]uint64, 2), []uint64{0, 256}) },
+		"DecryptBatch": func() { c.DecryptBatch(make([]uint64, 2), []uint64{0, 1 << 30}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s out of domain should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkEncryptBatch28(b *testing.B) {
+	c := MustNew(28, KeyFromSeed(1))
+	r := rng.NewXoshiro256(1)
+	src := make([]uint64, 256)
+	dst := make([]uint64, 256)
+	for i := range src {
+		src[i] = r.Uint64n(c.Domain())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.EncryptBatch(dst, src)
+	}
+}

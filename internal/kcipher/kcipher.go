@@ -34,6 +34,11 @@ const (
 // function give full diffusion; we use eight for margin.
 const Rounds = 8
 
+// The scalar ladder walks the schedule in left/right pairs and the batch
+// ladder is fully unrolled, both assuming exactly eight rounds; this fails
+// to compile if Rounds changes without revisiting them.
+var _ = [1]struct{}{}[Rounds-8]
+
 // Key is the 96-bit cipher key.
 type Key [3]uint32
 
@@ -109,13 +114,11 @@ func (c *Cipher) Encrypt(x uint64) uint64 {
 	l := x >> c.rightBits & c.leftMask
 	r := x & c.rightMask
 	// Unbalanced Feistel: alternate which half is modified so both halves
-	// are diffused even when their widths differ.
-	for i := 0; i < Rounds; i++ {
-		if i%2 == 0 {
-			l ^= c.round(r, c.roundKeys[i]) & c.leftMask
-		} else {
-			r ^= c.round(l, c.roundKeys[i]) & c.rightMask
-		}
+	// are diffused even when their widths differ. Walking the schedule in
+	// left/right pairs removes the parity branch from the ladder.
+	for i := 0; i < Rounds; i += 2 {
+		l ^= c.round(r, c.roundKeys[i]) & c.leftMask
+		r ^= c.round(l, c.roundKeys[i+1]) & c.rightMask
 	}
 	return l<<c.rightBits | r
 }
@@ -128,12 +131,63 @@ func (c *Cipher) Decrypt(y uint64) uint64 {
 	}
 	l := y >> c.rightBits & c.leftMask
 	r := y & c.rightMask
-	for i := Rounds - 1; i >= 0; i-- {
-		if i%2 == 0 {
-			l ^= c.round(r, c.roundKeys[i]) & c.leftMask
-		} else {
-			r ^= c.round(l, c.roundKeys[i]) & c.rightMask
-		}
+	for i := Rounds - 2; i >= 0; i -= 2 {
+		r ^= c.round(l, c.roundKeys[i+1]) & c.rightMask
+		l ^= c.round(r, c.roundKeys[i]) & c.leftMask
 	}
 	return l<<c.rightBits | r
+}
+
+// EncryptBatch encrypts src[i] into dst[i] for every i, walking the ladder
+// with the precomputed round schedule held in locals so the per-call setup
+// (schedule and mask loads) is amortized across the batch. len(dst) must be
+// at least len(src); dst and src may be the same slice (the transform is
+// element-wise). Out-of-domain elements panic exactly as Encrypt does.
+func (c *Cipher) EncryptBatch(dst, src []uint64) {
+	dst = dst[:len(src)]
+	rk := c.roundKeys
+	lm, rm, rb := c.leftMask, c.rightMask, c.rightBits
+	dom := c.Domain()
+	for i, x := range src {
+		if x >= dom {
+			//lint:allow panicpolicy invariant guard on the per-access hot path; an out-of-domain address is a simulator bug, not an input error
+			panic(fmt.Sprintf("kcipher: plaintext %#x out of %d-bit domain", x, c.bits))
+		}
+		l := x >> rb & lm
+		r := x & rm
+		l ^= rng.Mix64(r^rk[0]) & lm
+		r ^= rng.Mix64(l^rk[1]) & rm
+		l ^= rng.Mix64(r^rk[2]) & lm
+		r ^= rng.Mix64(l^rk[3]) & rm
+		l ^= rng.Mix64(r^rk[4]) & lm
+		r ^= rng.Mix64(l^rk[5]) & rm
+		l ^= rng.Mix64(r^rk[6]) & lm
+		r ^= rng.Mix64(l^rk[7]) & rm
+		dst[i] = l<<rb | r
+	}
+}
+
+// DecryptBatch inverts EncryptBatch under the same contract.
+func (c *Cipher) DecryptBatch(dst, src []uint64) {
+	dst = dst[:len(src)]
+	rk := c.roundKeys
+	lm, rm, rb := c.leftMask, c.rightMask, c.rightBits
+	dom := c.Domain()
+	for i, y := range src {
+		if y >= dom {
+			//lint:allow panicpolicy invariant guard on the per-access hot path; an out-of-domain address is a simulator bug, not an input error
+			panic(fmt.Sprintf("kcipher: ciphertext %#x out of %d-bit domain", y, c.bits))
+		}
+		l := y >> rb & lm
+		r := y & rm
+		r ^= rng.Mix64(l^rk[7]) & rm
+		l ^= rng.Mix64(r^rk[6]) & lm
+		r ^= rng.Mix64(l^rk[5]) & rm
+		l ^= rng.Mix64(r^rk[4]) & lm
+		r ^= rng.Mix64(l^rk[3]) & rm
+		l ^= rng.Mix64(r^rk[2]) & lm
+		r ^= rng.Mix64(l^rk[1]) & rm
+		l ^= rng.Mix64(r^rk[0]) & lm
+		dst[i] = l<<rb | r
+	}
 }

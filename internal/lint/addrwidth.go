@@ -16,7 +16,11 @@ import (
 // the bound that survives. Where the syntactic pass sees only the expression
 // inside the conversion, this one knows that a value returned by
 // mapping.Map carries up to 40 bits even after it crossed two helper
-// functions and a struct field.
+// functions and a struct field. Address batches are seeded the same way:
+// a []uint64 with an address-slice name in those packages, or any []uint64
+// parameter of a MapBatch/UnmapBatch/EncryptBatch/DecryptBatch
+// implementation, taints the container, and element reads inherit the
+// bound.
 //
 // A finding comes with a machine-applicable fix that masks the operand to the
 // destination width, making the truncation explicit (and the re-run clean:
@@ -55,10 +59,50 @@ func isAddrName(name string) bool {
 	return false
 }
 
+// addrSliceVeto is the veto list for []uint64 identifiers. It deliberately
+// omits the plural geometry words ("lines", "rows", "blocks"): on a scalar
+// they describe a count, but a slice named "lines" IS a batch of addresses —
+// exactly the values MapBatch moves.
+var addrSliceVeto = []string{"bits", "width", "mask", "count", "per", "size", "rate", "num"}
+
+// isAddrSliceName reports whether a defined identifier names a slice of
+// address values.
+func isAddrSliceName(name string) bool {
+	l := strings.ToLower(name)
+	for _, v := range addrSliceVeto {
+		if strings.Contains(l, v) {
+			return false
+		}
+	}
+	for _, p := range addrNameParts {
+		if strings.Contains(l, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// sliceElemIntWidth returns the element bit width when t is a slice of
+// (unnamed or named) integers.
+func sliceElemIntWidth(t types.Type) (int, bool) {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return 0, false
+	}
+	return intWidth(sl.Elem())
+}
+
 // addrResultFuncs are function/method names whose results carry addresses
 // regardless of result naming: the mapper and cipher surfaces.
 var addrResultFuncs = map[string]bool{
 	"Map": true, "Unmap": true, "Encrypt": true, "Decrypt": true,
+}
+
+// addrBatchFuncs are the batched translation surfaces: every []uint64
+// parameter carries addresses, in any package — element reads inside the
+// implementation inherit the container's 40-bit taint.
+var addrBatchFuncs = map[string]bool{
+	"MapBatch": true, "UnmapBatch": true, "EncryptBatch": true, "DecryptBatch": true,
 }
 
 func runAddrWidth(pass *Pass) error {
@@ -66,9 +110,7 @@ func runAddrWidth(pass *Pass) error {
 	tm := prog.Taint("addrwidth", func() []Source {
 		var srcs []Source
 		for _, pkg := range prog.Packages() {
-			if !isAddrSourcePkg(pkg.Path) {
-				continue
-			}
+			srcPkg := isAddrSourcePkg(pkg.Path)
 			for _, f := range pkg.Files {
 				ast.Inspect(f, func(n ast.Node) bool {
 					id, ok := n.(*ast.Ident)
@@ -77,29 +119,60 @@ func runAddrWidth(pass *Pass) error {
 					}
 					switch obj := pkg.Info.Defs[id].(type) {
 					case *types.Var:
-						w, isInt := intWidth(obj.Type())
-						if !isInt || w < 64 || !isAddrName(obj.Name()) {
+						if !srcPkg {
 							return true
 						}
-						srcs = append(srcs, Source{
-							n:     objNode(obj),
-							bound: maxAddressBits,
-							pos:   pkg.Fset.Position(obj.Pos()),
-							what:  fmt.Sprintf("address value %q", obj.Name()),
-						})
+						if w, isInt := intWidth(obj.Type()); isInt && w >= 64 && isAddrName(obj.Name()) {
+							srcs = append(srcs, Source{
+								n:     objNode(obj),
+								bound: maxAddressBits,
+								pos:   pkg.Fset.Position(obj.Pos()),
+								what:  fmt.Sprintf("address value %q", obj.Name()),
+							})
+							return true
+						}
+						// Batches: a []uint64 named like a pile of addresses
+						// taints the container, so element reads carry the
+						// same 40-bit bound as a scalar address.
+						if w, isInt := sliceElemIntWidth(obj.Type()); isInt && w >= 64 && isAddrSliceName(obj.Name()) {
+							srcs = append(srcs, Source{
+								n:     objNode(obj),
+								bound: maxAddressBits,
+								pos:   pkg.Fset.Position(obj.Pos()),
+								what:  fmt.Sprintf("address batch %q", obj.Name()),
+							})
+						}
 					case *types.Func:
-						if !addrResultFuncs[obj.Name()] {
-							return true
+						sig := obj.Type().(*types.Signature)
+						if srcPkg && addrResultFuncs[obj.Name()] {
+							res := sig.Results()
+							for i := 0; i < res.Len(); i++ {
+								if w, isInt := intWidth(res.At(i).Type()); isInt && w == 64 {
+									srcs = append(srcs, Source{
+										n:     resultNode(obj, i),
+										bound: maxAddressBits,
+										pos:   pkg.Fset.Position(obj.Pos()),
+										what:  fmt.Sprintf("result of %s.%s", pkg.Types.Name(), obj.Name()),
+									})
+								}
+							}
 						}
-						res := obj.Type().(*types.Signature).Results()
-						for i := 0; i < res.Len(); i++ {
-							if w, isInt := intWidth(res.At(i).Type()); isInt && w == 64 {
-								srcs = append(srcs, Source{
-									n:     resultNode(obj, i),
-									bound: maxAddressBits,
-									pos:   pkg.Fset.Position(obj.Pos()),
-									what:  fmt.Sprintf("result of %s.%s", pkg.Types.Name(), obj.Name()),
-								})
+						// The batched translation surfaces carry addresses in
+						// their slice parameters wherever they are declared —
+						// implementations of mapping.BatchMapper live outside
+						// the address-arithmetic packages too.
+						if addrBatchFuncs[obj.Name()] {
+							params := sig.Params()
+							for i := 0; i < params.Len(); i++ {
+								p := params.At(i)
+								if w, isInt := sliceElemIntWidth(p.Type()); isInt && w >= 64 {
+									srcs = append(srcs, Source{
+										n:     objNode(p),
+										bound: maxAddressBits,
+										pos:   pkg.Fset.Position(p.Pos()),
+										what:  fmt.Sprintf("address batch %q of %s.%s", p.Name(), pkg.Types.Name(), obj.Name()),
+									})
+								}
 							}
 						}
 					}

@@ -40,3 +40,30 @@ func Allowed(m mapping.Mapper, line uint64) uint8 {
 func Wide(m mapping.Mapper, line uint64) uint64 {
 	return uint64(int64(m.Map(line)))
 }
+
+// BatchTable implements the batched translation surface. Its []uint64
+// parameters are seeded as address batches regardless of package, so
+// element reads inside the body carry the 40-bit bound.
+type BatchTable struct{ bank []uint32 }
+
+// MapBatch narrows a batch element without masking: the batch positive.
+func (t *BatchTable) MapBatch(lines, phys []uint64) {
+	for i, line := range lines {
+		t.bank[i] = uint32(line) // want "may carry 40 bits.*narrows to 32-bit"
+		phys[i] = line
+	}
+}
+
+// UnmapBatch masks before narrowing: explicit, and the bound is capped.
+func (t *BatchTable) UnmapBatch(phys, lines []uint64) {
+	for i := range phys {
+		t.bank[i] = uint32(phys[i] & 0xffffffff)
+		lines[i] = phys[i]
+	}
+}
+
+// Gather is the negative for ordinary slice parameters: a function outside
+// the batch surface gets no container seed from its name alone.
+func Gather(values []uint64) uint32 {
+	return uint32(values[0])
+}

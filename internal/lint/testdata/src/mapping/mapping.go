@@ -17,3 +17,11 @@ func (Sequential) Map(line uint64) uint64 { return line }
 
 // Unmap returns the row unchanged.
 func (Sequential) Unmap(row uint64) uint64 { return row }
+
+// MapBatch is the batched surface stub: element writes into phys taint the
+// caller-visible container the way the real adapters do.
+func (s Sequential) MapBatch(lines, phys []uint64) {
+	for i, line := range lines {
+		phys[i] = s.Map(line)
+	}
+}

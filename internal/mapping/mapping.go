@@ -32,6 +32,67 @@ type Inverter interface {
 	Unmap(phys uint64) uint64
 }
 
+// BatchMapper is implemented by mappers that translate whole batches in one
+// call, amortizing per-call setup (mask/shift loads, cipher round-schedule
+// loads) across the batch. MapBatch stores Map(lines[i]) into phys[i] for
+// every i < len(lines); len(phys) must be at least len(lines) and the two
+// slices must not overlap (implementations may stage intermediate values in
+// phys). For dynamic mappers the whole batch is translated under the state
+// at call time — callers that interleave translation with remapping events
+// must re-translate the untouched tail (see memctrl.Controller.AccessBatch).
+type BatchMapper interface {
+	MapBatch(lines, phys []uint64)
+}
+
+// BatchInverter is the batched companion of Inverter: UnmapBatch stores
+// Unmap(phys[i]) into lines[i], under the same length and no-overlap
+// contract as MapBatch.
+type BatchInverter interface {
+	UnmapBatch(phys, lines []uint64)
+}
+
+// FullMapper is the complete translation surface: scalar and batched, both
+// directions. Every mapper in this repository implements it; sim.MapperFor
+// returns it so callers need no capability type assertions.
+type FullMapper interface {
+	Mapper
+	Inverter
+	BatchMapper
+	BatchInverter
+}
+
+// BatchedMapper is the forward translation surface Batched returns: the
+// scalar Map plus the batched MapBatch. It deliberately omits the inverse
+// direction so forward-only mappers (test doubles, custom experimental
+// mappings) stay usable.
+type BatchedMapper interface {
+	Mapper
+	BatchMapper
+}
+
+// Batched returns a batch-capable view of m: m itself when it implements
+// MapBatch natively, otherwise an adapter whose MapBatch is a per-line
+// fallback loop. The adapter keeps single-line mappers working behind the
+// batched call sites (the memory controller's queue drain) with identical
+// translation semantics.
+func Batched(m Mapper) BatchedMapper {
+	if bm, ok := m.(BatchedMapper); ok {
+		return bm
+	}
+	return scalarBatch{m}
+}
+
+// scalarBatch adapts a scalar-only Mapper to the batch surface.
+type scalarBatch struct{ Mapper }
+
+// MapBatch implements BatchMapper with a per-line loop.
+func (s scalarBatch) MapBatch(lines, phys []uint64) {
+	phys = phys[:len(lines)]
+	for i, line := range lines {
+		phys[i] = s.Mapper.Map(line)
+	}
+}
+
 // validateGeometry rejects geometries the baseline mappers silently
 // mis-handle: rowBits truncates a non-power-of-two RowsPerBank (dropping
 // rows from the address space, so the "bijection" loses range), and the
@@ -81,6 +142,12 @@ func (Sequential) Map(line uint64) uint64 { return line }
 // Unmap implements Inverter.
 func (Sequential) Unmap(phys uint64) uint64 { return phys }
 
+// MapBatch implements BatchMapper: the identity batch is a copy.
+func (Sequential) MapBatch(lines, phys []uint64) { copy(phys[:len(lines)], lines) }
+
+// UnmapBatch implements BatchInverter.
+func (Sequential) UnmapBatch(phys, lines []uint64) { copy(lines[:len(phys)], phys) }
+
 // --- Coffee Lake -----------------------------------------------------------
 
 // CoffeeLake models the Intel Coffee Lake mapping (§2.3): 128 consecutive
@@ -92,6 +159,7 @@ type CoffeeLake struct {
 	selBits  uint   // channel+rank+bank bits
 	selMask  uint64 // mask of selBits
 	slotBits uint
+	slotMask uint64 // (1 << slotBits) - 1, hoisted off the per-call path
 }
 
 // NewCoffeeLake builds the Coffee Lake mapping for geometry g.
@@ -104,6 +172,7 @@ func NewCoffeeLake(g geom.Geometry) (*CoffeeLake, error) {
 		selBits:  g.LineBits() - g.SlotBits() - uint(rowBits(g)),
 		selMask:  uint64(g.BanksTotal()) - 1,
 		slotBits: g.SlotBits(),
+		slotMask: (uint64(1) << g.SlotBits()) - 1,
 	}, nil
 }
 
@@ -122,7 +191,7 @@ func (m *CoffeeLake) Name() string { return "CoffeeLake" }
 // Map implements Mapper. The low slot bits are untouched (consecutive 128
 // lines share a row); the bank-select bits are XOR-hashed with the row bits.
 func (m *CoffeeLake) Map(line uint64) uint64 {
-	slot := line & ((1 << m.slotBits) - 1)
+	slot := line & m.slotMask
 	block := line >> m.slotBits // global-row-sized block of program space
 	sel := block & m.selMask
 	row := block >> m.selBits
@@ -134,6 +203,17 @@ func (m *CoffeeLake) Map(line uint64) uint64 {
 // own inverse.
 func (m *CoffeeLake) Unmap(phys uint64) uint64 { return m.Map(phys) }
 
+// MapBatch implements BatchMapper.
+func (m *CoffeeLake) MapBatch(lines, phys []uint64) {
+	phys = phys[:len(lines)]
+	for i, line := range lines {
+		phys[i] = m.Map(line)
+	}
+}
+
+// UnmapBatch implements BatchInverter (the mapping is an involution).
+func (m *CoffeeLake) UnmapBatch(phys, lines []uint64) { m.MapBatch(phys, lines) }
+
 // --- Skylake ---------------------------------------------------------------
 
 // Skylake models the Intel Skylake mapping (§2.3): pairs of lines alternate
@@ -144,6 +224,11 @@ type Skylake struct {
 	g        geom.Geometry
 	selBits  uint
 	slotBits uint
+	// Hoisted masks, previously recomputed on every Map/Unmap call.
+	slotMask     uint64 // (1 << slotBits) - 1
+	slotHighMask uint64 // (1 << (slotBits - 1)) - 1
+	selMask      uint64 // (1 << selBits) - 1
+	selRestMask  uint64 // (1 << (selBits - 1)) - 1
 }
 
 // NewSkylake builds the Skylake mapping for geometry g. The geometry must
@@ -159,11 +244,16 @@ func NewSkylake(g geom.Geometry) (*Skylake, error) {
 	if g.LinesPerRow() < 4 {
 		return nil, fmt.Errorf("mapping: Skylake requires >= 4 lines per row, geometry has %d", g.LinesPerRow())
 	}
-	return &Skylake{
+	m := &Skylake{
 		g:        g,
 		selBits:  g.LineBits() - g.SlotBits() - uint(rowBits(g)),
 		slotBits: g.SlotBits(),
-	}, nil
+	}
+	m.slotMask = (uint64(1) << m.slotBits) - 1
+	m.slotHighMask = (uint64(1) << (m.slotBits - 1)) - 1
+	m.selMask = (uint64(1) << m.selBits) - 1
+	m.selRestMask = (uint64(1) << (m.selBits - 1)) - 1
+	return m, nil
 }
 
 // Name implements Mapper.
@@ -180,28 +270,27 @@ func (m *Skylake) Map(line uint64) uint64 {
 	bankLow := line >> 1 & 1
 	upper := line >> 2 // pair stream above the bank-select bit
 
-	slotHigh := upper & ((1 << (m.slotBits - 1)) - 1) // slotBits-1 bits
+	slotHigh := upper & m.slotHighMask // slotBits-1 bits
 	slot := slotHigh<<1 | b0
 	rest := upper >> (m.slotBits - 1)
 
 	// Remaining bank/rank/channel select bits come from the low bits of
 	// rest; the row address is what is left.
-	selRestBits := m.selBits - 1
-	selRest := rest & ((1 << selRestBits) - 1)
-	row := rest >> selRestBits
+	selRest := rest & m.selRestMask
+	row := rest >> (m.selBits - 1)
 
 	sel := selRest<<1 | bankLow
-	sel ^= xorFold(row, m.selBits) & ((1 << m.selBits) - 1)
+	sel ^= xorFold(row, m.selBits) & m.selMask
 	return (row<<m.selBits|sel)<<m.slotBits | slot
 }
 
 // Unmap implements Inverter.
 func (m *Skylake) Unmap(phys uint64) uint64 {
-	slot := phys & ((1 << m.slotBits) - 1)
+	slot := phys & m.slotMask
 	gr := phys >> m.slotBits
-	sel := gr & ((1 << m.selBits) - 1)
+	sel := gr & m.selMask
 	row := gr >> m.selBits
-	sel ^= xorFold(row, m.selBits) & ((1 << m.selBits) - 1)
+	sel ^= xorFold(row, m.selBits) & m.selMask
 
 	bankLow := sel & 1
 	selRest := sel >> 1
@@ -211,6 +300,22 @@ func (m *Skylake) Unmap(phys uint64) uint64 {
 	rest := row<<(m.selBits-1) | selRest
 	upper := rest<<(m.slotBits-1) | slotHigh
 	return upper<<2 | bankLow<<1 | b0
+}
+
+// MapBatch implements BatchMapper.
+func (m *Skylake) MapBatch(lines, phys []uint64) {
+	phys = phys[:len(lines)]
+	for i, line := range lines {
+		phys[i] = m.Map(line)
+	}
+}
+
+// UnmapBatch implements BatchInverter.
+func (m *Skylake) UnmapBatch(phys, lines []uint64) {
+	lines = lines[:len(phys)]
+	for i, p := range phys {
+		lines[i] = m.Unmap(p)
+	}
 }
 
 // --- MOP (Minimalist Open-Page) ---------------------------------------------
@@ -225,6 +330,12 @@ type MOP struct {
 	selBits  uint
 	slotBits uint
 	gangBits uint // log2 lines per MOP gang (= 2)
+	// Hoisted masks, previously recomputed on every Map/Unmap call.
+	gangMask    uint64 // (1 << gangBits) - 1
+	selMask     uint64 // (1 << selBits) - 1
+	slotMask    uint64 // (1 << slotBits) - 1
+	gangsPerRow uint   // slotBits - gangBits
+	gprMask     uint64 // (1 << gangsPerRow) - 1
 }
 
 // NewMOP builds the MOP mapping for geometry g. Rows must hold at least one
@@ -237,12 +348,18 @@ func NewMOP(g geom.Geometry) (*MOP, error) {
 	if g.LinesPerRow() < 4 {
 		return nil, fmt.Errorf("mapping: MOP requires >= 4 lines per row, geometry has %d", g.LinesPerRow())
 	}
-	return &MOP{
+	m := &MOP{
 		g:        g,
 		selBits:  g.LineBits() - g.SlotBits() - uint(rowBits(g)),
 		slotBits: g.SlotBits(),
 		gangBits: 2,
-	}, nil
+	}
+	m.gangMask = (uint64(1) << m.gangBits) - 1
+	m.selMask = (uint64(1) << m.selBits) - 1
+	m.slotMask = (uint64(1) << m.slotBits) - 1
+	m.gangsPerRow = m.slotBits - m.gangBits
+	m.gprMask = (uint64(1) << m.gangsPerRow) - 1
+	return m, nil
 }
 
 // Name implements Mapper.
@@ -250,14 +367,13 @@ func (m *MOP) Name() string { return "MOP" }
 
 // Map implements Mapper.
 func (m *MOP) Map(line uint64) uint64 {
-	lig := line & ((1 << m.gangBits) - 1) // line in MOP gang
+	lig := line & m.gangMask // line in MOP gang
 	gang := line >> m.gangBits
-	sel := gang & ((1 << m.selBits) - 1) // round-robin across banks
+	sel := gang & m.selMask // round-robin across banks
 	rest := gang >> m.selBits
 
-	gangsPerRow := m.slotBits - m.gangBits
-	slotGang := rest & ((1 << gangsPerRow) - 1)
-	row := rest >> gangsPerRow
+	slotGang := rest & m.gprMask
+	row := rest >> m.gangsPerRow
 
 	slot := slotGang<<m.gangBits | lig
 	return (row<<m.selBits|sel)<<m.slotBits | slot
@@ -265,18 +381,33 @@ func (m *MOP) Map(line uint64) uint64 {
 
 // Unmap implements Inverter.
 func (m *MOP) Unmap(phys uint64) uint64 {
-	slot := phys & ((1 << m.slotBits) - 1)
+	slot := phys & m.slotMask
 	gr := phys >> m.slotBits
-	sel := gr & ((1 << m.selBits) - 1)
+	sel := gr & m.selMask
 	row := gr >> m.selBits
 
-	lig := slot & ((1 << m.gangBits) - 1)
+	lig := slot & m.gangMask
 	slotGang := slot >> m.gangBits
 
-	gangsPerRow := m.slotBits - m.gangBits
-	rest := row<<gangsPerRow | slotGang
+	rest := row<<m.gangsPerRow | slotGang
 	gang := rest<<m.selBits | sel
 	return gang<<m.gangBits | lig
+}
+
+// MapBatch implements BatchMapper.
+func (m *MOP) MapBatch(lines, phys []uint64) {
+	phys = phys[:len(lines)]
+	for i, line := range lines {
+		phys[i] = m.Map(line)
+	}
+}
+
+// UnmapBatch implements BatchInverter.
+func (m *MOP) UnmapBatch(phys, lines []uint64) {
+	lines = lines[:len(phys)]
+	for i, p := range phys {
+		lines[i] = m.Unmap(p)
+	}
 }
 
 // --- Large stride (§6.1) ----------------------------------------------------
@@ -293,6 +424,11 @@ type LargeStride struct {
 	restBits uint // row+bank select bits
 	selBits  uint // channel+rank+bank bits within rest
 	slotBits uint
+	// Hoisted masks, previously recomputed on every Map/Unmap call.
+	gangMask uint64 // (1 << gangBits) - 1
+	restMask uint64 // (1 << restBits) - 1
+	selMask  uint64 // (1 << selBits) - 1
+	slotMask uint64 // (1 << slotBits) - 1
 }
 
 // NewLargeStride builds the large-stride mapping with a gang of gangSize
@@ -310,14 +446,19 @@ func NewLargeStride(g geom.Geometry, gangSize int) (*LargeStride, error) {
 		return nil, fmt.Errorf("mapping: gang size %d does not fit a %d-line row", gangSize, g.LinesPerRow())
 	}
 	p := g.SlotBits() - uint(gb)
-	return &LargeStride{
+	m := &LargeStride{
 		g:        g,
 		gangBits: uint(gb),
 		pBits:    p,
 		restBits: g.LineBits() - g.SlotBits(),
 		selBits:  g.LineBits() - g.SlotBits() - uint(rowBits(g)),
 		slotBits: g.SlotBits(),
-	}, nil
+	}
+	m.gangMask = (uint64(1) << m.gangBits) - 1
+	m.restMask = (uint64(1) << m.restBits) - 1
+	m.selMask = (uint64(1) << m.selBits) - 1
+	m.slotMask = (uint64(1) << m.slotBits) - 1
+	return m, nil
 }
 
 func gangBitsFor(gangSize int) (int, error) {
@@ -344,11 +485,10 @@ func (m *LargeStride) Name() string {
 // row, so consecutive gangs land in consecutive rows; the bank-select bits
 // are XOR-hashed with the row bits as in the Intel mappings.
 func (m *LargeStride) Map(line uint64) uint64 {
-	lig := line & ((1 << m.gangBits) - 1)
+	lig := line & m.gangMask
 	gang := line >> m.gangBits
-	gangAddrBits := m.pBits + m.restBits
-	top := gang >> (gangAddrBits - m.pBits) // top pBits
-	rest := gang & ((1 << (gangAddrBits - m.pBits)) - 1)
+	top := gang >> m.restBits // top pBits
+	rest := gang & m.restMask
 	rest = m.bankHash(rest)
 	slot := top<<m.gangBits | lig
 	return rest<<m.slotBits | slot
@@ -357,19 +497,43 @@ func (m *LargeStride) Map(line uint64) uint64 {
 // bankHash XORs the row bits of a global row index into its bank-select
 // bits; it is an involution.
 func (m *LargeStride) bankHash(globalRow uint64) uint64 {
-	sel := globalRow & ((1 << m.selBits) - 1)
+	sel := globalRow & m.selMask
 	row := globalRow >> m.selBits
-	sel ^= xorFold(row, m.selBits) & ((1 << m.selBits) - 1)
+	sel ^= xorFold(row, m.selBits) & m.selMask
 	return row<<m.selBits | sel
 }
 
 // Unmap implements Inverter.
 func (m *LargeStride) Unmap(phys uint64) uint64 {
-	slot := phys & ((1 << m.slotBits) - 1)
+	slot := phys & m.slotMask
 	rest := m.bankHash(phys >> m.slotBits)
-	lig := slot & ((1 << m.gangBits) - 1)
+	lig := slot & m.gangMask
 	top := slot >> m.gangBits
-	gangAddrBits := m.pBits + m.restBits
-	gang := top<<(gangAddrBits-m.pBits) | rest
+	gang := top<<m.restBits | rest
 	return gang<<m.gangBits | lig
 }
+
+// MapBatch implements BatchMapper.
+func (m *LargeStride) MapBatch(lines, phys []uint64) {
+	phys = phys[:len(lines)]
+	for i, line := range lines {
+		phys[i] = m.Map(line)
+	}
+}
+
+// UnmapBatch implements BatchInverter.
+func (m *LargeStride) UnmapBatch(phys, lines []uint64) {
+	lines = lines[:len(phys)]
+	for i, p := range phys {
+		lines[i] = m.Unmap(p)
+	}
+}
+
+// Every baseline mapper provides the full translation surface.
+var (
+	_ FullMapper = Sequential{}
+	_ FullMapper = (*CoffeeLake)(nil)
+	_ FullMapper = (*Skylake)(nil)
+	_ FullMapper = (*MOP)(nil)
+	_ FullMapper = (*LargeStride)(nil)
+)

@@ -25,7 +25,7 @@ func mustMOP(t testing.TB, g geom.Geometry) *MOP {
 	return m
 }
 
-func allMappers(t *testing.T, g geom.Geometry) []Mapper {
+func allMappers(t *testing.T, g geom.Geometry) []FullMapper {
 	t.Helper()
 	sky, err := NewSkylake(g)
 	if err != nil {
@@ -39,7 +39,7 @@ func allMappers(t *testing.T, g geom.Geometry) []Mapper {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return []Mapper{
+	return []FullMapper{
 		NewSequential(),
 		mustCoffeeLake(t, g),
 		sky,
@@ -52,14 +52,10 @@ func allMappers(t *testing.T, g geom.Geometry) []Mapper {
 func TestRoundTripAllMappers(t *testing.T) {
 	for _, g := range []geom.Geometry{geom.DDR4_16GB(), geom.DDR4_32GB2Ch(), geom.DDR4_32GB4Ch()} {
 		for _, m := range allMappers(t, g) {
-			inv, ok := m.(Inverter)
-			if !ok {
-				t.Fatalf("%s does not implement Inverter", m.Name())
-			}
 			f := func(raw uint64) bool {
 				line := raw & (g.TotalLines() - 1)
 				phys := m.Map(line)
-				return phys < g.TotalLines() && inv.Unmap(phys) == line
+				return phys < g.TotalLines() && m.Unmap(phys) == line
 			}
 			if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
 				t.Fatalf("%s on %v: %v", m.Name(), g, err)
@@ -277,17 +273,17 @@ func TestCrossMapperBijectionPropertyTable(t *testing.T) {
 	// rejects names the geometries each constructor must refuse.
 	mappers := []struct {
 		name    string
-		build   func(g geom.Geometry) (Mapper, error)
+		build   func(g geom.Geometry) (FullMapper, error)
 		rejects map[string]bool
 	}{
-		{"sequential", func(g geom.Geometry) (Mapper, error) { return NewSequential(), nil }, nil},
-		{"coffeelake", func(g geom.Geometry) (Mapper, error) { return NewCoffeeLake(g) }, nil},
-		{"skylake", func(g geom.Geometry) (Mapper, error) { return NewSkylake(g) },
+		{"sequential", func(g geom.Geometry) (FullMapper, error) { return NewSequential(), nil }, nil},
+		{"coffeelake", func(g geom.Geometry) (FullMapper, error) { return NewCoffeeLake(g) }, nil},
+		{"skylake", func(g geom.Geometry) (FullMapper, error) { return NewSkylake(g) },
 			map[string]bool{"sub4-lines-per-row": true}},
-		{"mop", func(g geom.Geometry) (Mapper, error) { return NewMOP(g) },
+		{"mop", func(g geom.Geometry) (FullMapper, error) { return NewMOP(g) },
 			map[string]bool{"sub4-lines-per-row": true}},
-		{"largestride-gs1", func(g geom.Geometry) (Mapper, error) { return NewLargeStride(g, 1) }, nil},
-		{"largestride-gs4", func(g geom.Geometry) (Mapper, error) { return NewLargeStride(g, 4) },
+		{"largestride-gs1", func(g geom.Geometry) (FullMapper, error) { return NewLargeStride(g, 1) }, nil},
+		{"largestride-gs4", func(g geom.Geometry) (FullMapper, error) { return NewLargeStride(g, 4) },
 			map[string]bool{"sub4-lines-per-row": true}},
 	}
 	for _, ge := range geoms {
@@ -312,12 +308,8 @@ func TestCrossMapperBijectionPropertyTable(t *testing.T) {
 // verifyBijection checks that m is a bijection over [0, TotalLines()):
 // exhaustively (with a seen-bitmap, so collisions are caught, not just
 // round-trip failures) when the space is <= 2^20 lines, sampled above.
-func verifyBijection(t *testing.T, m Mapper, g geom.Geometry) {
+func verifyBijection(t *testing.T, m FullMapper, g geom.Geometry) {
 	t.Helper()
-	inv, ok := m.(Inverter)
-	if !ok {
-		t.Fatalf("%s does not implement Inverter", m.Name())
-	}
 	total := g.TotalLines()
 	if total <= 1<<20 {
 		seen := make([]bool, total)
@@ -330,7 +322,7 @@ func verifyBijection(t *testing.T, m Mapper, g geom.Geometry) {
 				t.Fatalf("%s: physical line %#x hit twice (line %#x)", m.Name(), phys, line)
 			}
 			seen[phys] = true
-			if back := inv.Unmap(phys); back != line {
+			if back := m.Unmap(phys); back != line {
 				t.Fatalf("%s: Unmap(Map(%#x)) = %#x", m.Name(), line, back)
 			}
 		}
@@ -343,7 +335,7 @@ func verifyBijection(t *testing.T, m Mapper, g geom.Geometry) {
 		if phys >= total {
 			t.Fatalf("%s: Map(%#x) = %#x escapes [0, %#x)", m.Name(), line, phys, total)
 		}
-		if back := inv.Unmap(phys); back != line {
+		if back := m.Unmap(phys); back != line {
 			t.Fatalf("%s: Unmap(Map(%#x)) = %#x", m.Name(), line, back)
 		}
 	}

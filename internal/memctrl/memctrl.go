@@ -15,9 +15,12 @@ import (
 )
 
 // Dynamic is implemented by mappings that react to activations by remapping
-// (Rubix-D). The controller charges the cost of any swap it returns.
+// (Rubix-D). The controller charges the cost of any swap it returns, and
+// watches Generation to invalidate batch pre-translations: the counter must
+// advance every time the mapping's translation changes.
 type Dynamic interface {
 	NoteActivation(phys uint64) (core.SwapOp, bool)
+	Generation() uint64
 }
 
 // Controller is the memory controller. It is single-threaded by design,
@@ -27,8 +30,11 @@ type Controller struct {
 	Map  mapping.Mapper
 	Mit  mitigation.Mitigator
 
-	dyn          Dynamic // non-nil when Map is Rubix-D
-	mapLatency   float64 // ns added to every access by the mapping logic
+	batch        mapping.BatchedMapper // batch view of Map (native or adapter)
+	physBuf      []uint64              // AccessBatch translation scratch
+	physArr      [16]uint64            // inline backing for physBuf at burst size (no heap alloc)
+	dyn          Dynamic               // non-nil when Map is Rubix-D
+	mapLatency   float64               // ns added to every access by the mapping logic
 	nextReset    float64
 	window       float64
 	slotBits     uint
@@ -71,12 +77,14 @@ func New(cfg Config) *Controller {
 	c := &Controller{
 		DRAM:       cfg.DRAM,
 		Map:        cfg.Map,
+		batch:      mapping.Batched(cfg.Map),
 		Mit:        cfg.Mit,
 		mapLatency: cfg.MapLatencyNs,
 		window:     cfg.DRAM.Timing.RefreshWindow,
 		slotBits:   cfg.DRAM.Geom.SlotBits(),
 		writeFrac:  cfg.WriteFraction,
 	}
+	c.physBuf = c.physArr[:0]
 	c.nextReset = c.window
 	if d, ok := cfg.Map.(Dynamic); ok {
 		c.dyn = d
@@ -91,13 +99,60 @@ func New(cfg Config) *Controller {
 // Access performs one line-granular memory access issued at `arrival` ns and
 // returns the time at which data is available.
 func (c *Controller) Access(line uint64, arrival float64) float64 {
+	return c.accessMapped(line, c.Map.Map(line), arrival)
+}
+
+// AccessBatch performs a batch of line-granular accesses all issued at
+// `arrival` ns — the shape of one core's MLP burst, whose misses a real
+// controller receives in its queue together — and returns the latest
+// completion. The whole batch is translated up front through the batch
+// mapper; under a dynamic mapping, an access that triggers a remap episode
+// advances the mapper's generation and the not-yet-issued tail is
+// re-translated, so every access observes exactly the mapping state it
+// would have seen issued one at a time (the paranoid-mode collision window
+// checks this across remap steps).
+func (c *Controller) AccessBatch(lines []uint64, arrival float64) float64 {
+	if len(lines) == 0 {
+		return arrival
+	}
+	if cap(c.physBuf) < len(lines) {
+		c.physBuf = make([]uint64, len(lines))
+	}
+	phys := c.physBuf[:len(lines)]
+	c.batch.MapBatch(lines, phys)
+	var gen uint64
+	if c.dyn != nil {
+		gen = c.dyn.Generation()
+	}
+	maxCompletion := arrival
+	for i, line := range lines {
+		if c.dyn != nil {
+			if g := c.dyn.Generation(); g != gen {
+				// A remap episode invalidated the pre-translation; redo
+				// the tail under the new circuit state.
+				c.batch.MapBatch(lines[i:], phys[i:])
+				gen = g
+			}
+		}
+		if comp := c.accessMapped(line, phys[i], arrival); comp > maxCompletion {
+			maxCompletion = comp
+		}
+	}
+	return maxCompletion
+}
+
+// accessMapped is the shared post-translation body of Access and
+// AccessBatch. phys must be Map's translation of line under the current
+// mapping state; the translation itself is side-effect-free, so computing
+// it before the access counter and window bookkeeping is equivalent to the
+// historical in-line order.
+func (c *Controller) accessMapped(line, phys uint64, arrival float64) float64 {
 	c.mAccesses.Inc()
 	for arrival >= c.nextReset {
 		c.Mit.ResetWindow()
 		c.nextReset += c.window
 	}
 
-	phys := c.Map.Map(line)
 	if c.chk != nil {
 		c.chk.OnMap(line, phys)
 	}

@@ -3,6 +3,7 @@ package memctrl
 import (
 	"testing"
 
+	"rubix/internal/check"
 	"rubix/internal/core"
 	"rubix/internal/dram"
 	"rubix/internal/geom"
@@ -214,6 +215,109 @@ func TestWriteFractionMarksWrites(t *testing.T) {
 	s := d.Stats()
 	if s.WriteCAS != 250 {
 		t.Fatalf("writes = %d, want exactly 250 at fraction 0.25", s.WriteCAS)
+	}
+}
+
+// TestAccessBatchMatchesAccess is the controller-level differential oracle:
+// with identical seeds, draining a miss stream through AccessBatch must
+// produce the same completions, DRAM stats, and swap counts as issuing it
+// one Access at a time — including under Rubix-D, where mid-batch remap
+// episodes invalidate pre-translations (the generation watch re-translates
+// the unissued tail).
+func TestAccessBatchMatchesAccess(t *testing.T) {
+	builders := map[string]func(t *testing.T, g geom.Geometry) mapping.Mapper{
+		"coffeelake": func(t *testing.T, g geom.Geometry) mapping.Mapper {
+			return coffeeLake(t, g)
+		},
+		"rubixd-rate1": func(t *testing.T, g geom.Geometry) mapping.Mapper {
+			rd, err := core.NewRubixD(g, core.RubixDConfig{GangSize: 4, RemapRate: 1, Seed: 9})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rd
+		},
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			dA := baseDRAM(128)
+			dB := baseDRAM(128)
+			ctlA := newCtl(t, build(t, dA.Geom), mitigation.NewNone(), dA)
+			ctlB := newCtl(t, build(t, dB.Geom), mitigation.NewNone(), dB)
+			const burst = 8
+			now := 0.0
+			lines := make([]uint64, burst)
+			rowStride := uint64(dA.Geom.LinesPerRow())
+			for i := uint64(0); i < 200; i++ {
+				for j := range lines {
+					lines[j] = (i*burst + uint64(j)) * rowStride * 7
+				}
+				scalarDone := now
+				for _, line := range lines {
+					if comp := ctlA.Access(line, now); comp > scalarDone {
+						scalarDone = comp
+					}
+				}
+				batchDone := ctlB.AccessBatch(lines, now)
+				if scalarDone != batchDone {
+					t.Fatalf("burst %d: scalar completion %.4f, batch %.4f", i, scalarDone, batchDone)
+				}
+				now = scalarDone + 10
+			}
+			sA, sB := dA.Stats(), dB.Stats()
+			counters := [][2]uint64{
+				{sA.Accesses, sB.Accesses},
+				{sA.RowHits, sB.RowHits},
+				{sA.DemandActs, sB.DemandActs},
+				{sA.ExtraActs, sB.ExtraActs},
+				{sA.ExtraCAS, sB.ExtraCAS},
+			}
+			for _, pair := range counters {
+				if pair[0] != pair[1] {
+					t.Fatalf("DRAM stats diverged:\nscalar %+v\nbatch  %+v", sA, sB)
+				}
+			}
+			if sA.WaitBusNs != sB.WaitBusNs || sA.PrepNs != sB.PrepNs {
+				t.Fatalf("latency decomposition diverged:\nscalar %+v\nbatch  %+v", sA, sB)
+			}
+			if ctlA.RemapSwaps() != ctlB.RemapSwaps() {
+				t.Fatalf("swaps diverged: scalar %d, batch %d", ctlA.RemapSwaps(), ctlB.RemapSwaps())
+			}
+		})
+	}
+}
+
+// TestAccessBatchParanoidCleanUnderRemap drives batch bursts through a
+// Rubix-D controller with the invariant checker attached: the collision
+// window (flushed at every remap step) and the batch≡scalar spot checks must
+// stay clean even when remap episodes land mid-batch.
+func TestAccessBatchParanoidCleanUnderRemap(t *testing.T) {
+	d := baseDRAM(128)
+	rd, err := core.NewRubixD(d.Geom, core.RubixDConfig{GangSize: 4, RemapRate: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := check.New(check.Config{SampleEvery: 1, WindowLines: 1 << 12})
+	chk.AttachFullMapper(d.Geom, rd)
+	rd.SetRemapObserver(chk)
+	c := New(Config{DRAM: d, Map: rd, Mit: mitigation.NewNone(), Check: chk})
+	const burst = 8
+	now := 0.0
+	lines := make([]uint64, burst)
+	rowStride := uint64(d.Geom.LinesPerRow())
+	for i := uint64(0); i < 300; i++ {
+		for j := range lines {
+			lines[j] = (i*burst + uint64(j)) * rowStride * 7
+		}
+		now = c.AccessBatch(lines, now) + 10
+	}
+	if err := chk.Err(); err != nil {
+		t.Fatalf("paranoid check tripped on batch path: %v", err)
+	}
+	if chk.Checks() == 0 {
+		t.Fatal("checker attached but no checks ran")
+	}
+	if c.RemapSwaps() == 0 {
+		t.Fatal("stream never triggered a remap swap; test exercises nothing")
 	}
 }
 

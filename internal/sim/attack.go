@@ -27,20 +27,23 @@ const (
 	ManySided AttackKind = "many-sided"
 )
 
+// attackSlots is the number of in-row slots workload.Attack cycles through
+// to defeat naive line-level caching.
+const attackSlots = 8
+
 // AttackProfiles builds attacker workloads for the given mapping: each core
 // runs the hammering loop against aggressor rows physically adjacent to a
-// victim row in its address-space slice. The mapper must be invertible
-// (all mappers in this repository are); for Rubix the attacker is assumed
+// victim row in its address-space slice. For Rubix the attacker is assumed
 // to have somehow learned the mapping — the mitigations must hold anyway
 // (§4.10: their security does not depend on the mapping).
-func AttackProfiles(kind AttackKind, g geom.Geometry, m mapping.Mapper, cores int, seed uint64) ([]workload.Profile, error) {
-	inv, ok := m.(mapping.Inverter)
-	if !ok {
-		return nil, fmt.Errorf("sim: mapper %s is not invertible", m.Name())
-	}
-	resolve := func(globalRow uint64, slot int) uint64 {
-		return inv.Unmap(globalRow<<g.SlotBits() | uint64(slot))
-	}
+//
+// For static mappings the whole aggressor-row × slot table is translated up
+// front in one UnmapBatch call, so the hammering loop indexes a table
+// instead of walking the cipher per access. Dynamic mappings (Rubix-D)
+// keep the live per-access Unmap: their inverse changes with every remap
+// episode, which is exactly what the attacker has to fight.
+func AttackProfiles(kind AttackKind, g geom.Geometry, m mapping.FullMapper, cores int, seed uint64) ([]workload.Profile, error) {
+	_, dynamic := m.(remapObservable)
 	// Physically adjacent rows within a bank differ by BanksTotal in the
 	// global row index.
 	stride := uint64(g.BanksTotal())
@@ -61,6 +64,10 @@ func AttackProfiles(kind AttackKind, g geom.Geometry, m mapping.Mapper, cores in
 		default:
 			return nil, fmt.Errorf("sim: unknown attack kind %q", kind)
 		}
+		resolve := liveResolver(g, m)
+		if !dynamic {
+			resolve = precomputedResolver(g, m, rows)
+		}
 		gen, err := workload.NewAttack(string(kind), rows, resolve)
 		if err != nil {
 			return nil, err
@@ -70,4 +77,37 @@ func AttackProfiles(kind AttackKind, g geom.Geometry, m mapping.Mapper, cores in
 		out[i] = workload.Profile{Gen: gen, MPKI: 500, MLP: 1}
 	}
 	return out, nil
+}
+
+// liveResolver translates (row, slot) through the mapper's inverse at call
+// time — required under dynamic mappings, whose inverse is time-varying.
+func liveResolver(g geom.Geometry, m mapping.FullMapper) workload.RowResolver {
+	return func(globalRow uint64, slot int) uint64 {
+		return m.Unmap(globalRow<<g.SlotBits() | uint64(slot))
+	}
+}
+
+// precomputedResolver batch-translates the aggressor rows' slot table once
+// and serves lookups from it. Valid only for static mappings.
+func precomputedResolver(g geom.Geometry, m mapping.FullMapper, rows []uint64) workload.RowResolver {
+	phys := make([]uint64, 0, len(rows)*attackSlots)
+	for _, r := range rows {
+		for s := 0; s < attackSlots; s++ {
+			phys = append(phys, r<<g.SlotBits()|uint64(s))
+		}
+	}
+	table := make([]uint64, len(phys))
+	m.UnmapBatch(phys, table)
+	rows = append([]uint64(nil), rows...)
+	live := liveResolver(g, m)
+	return func(globalRow uint64, slot int) uint64 {
+		for i, r := range rows {
+			if r == globalRow {
+				return table[i*attackSlots+slot]
+			}
+		}
+		// A row the table was not built for (never happens for generators
+		// built here); fall back to the live translation.
+		return live(globalRow, slot)
+	}
 }

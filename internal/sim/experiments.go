@@ -435,9 +435,16 @@ func (s *Suite) Fig4() ([]Fig4Row, error) {
 	return rows, nil
 }
 
+// kernelChunk is runKernel's translation batch: large enough to amortize
+// the batch mapper's per-call setup, small enough to stay in L1.
+const kernelChunk = 256
+
 // runKernel drives a raw generator through a mapping into a DRAM module
 // with no core model (back-to-back accesses, as in the Figure 4 model) and
-// returns the hot-row (>=64 ACTs) count.
+// returns the hot-row (>=64 ACTs) count. Addresses are translated in
+// chunks through MapBatch; the generator draws are independent of access
+// results, so chunked pre-translation replays the scalar loop exactly
+// (runKernel only runs static mappings).
 func (s *Suite) runKernel(g geom.Geometry, mapName string, gen workload.Generator, accesses int) (int, error) {
 	mapper, err := MapperFor(mapName, g, s.opts.Seed)
 	if err != nil {
@@ -449,10 +456,21 @@ func (s *Suite) runKernel(g geom.Geometry, mapName string, gen workload.Generato
 	timing.OpenMax = 1 << 30
 	mod := dram.New(dram.Config{Geometry: g, Timing: timing})
 	now := 0.0
-	for i := 0; i < accesses; i++ {
-		phys := mapper.Map(gen.Next())
-		res := mod.Access(phys, now)
-		now = res.Completion
+	var lines, phys [kernelChunk]uint64
+	for done := 0; done < accesses; {
+		n := kernelChunk
+		if rem := accesses - done; rem < n {
+			n = rem
+		}
+		for j := 0; j < n; j++ {
+			lines[j] = gen.Next()
+		}
+		mapper.MapBatch(lines[:n], phys[:n])
+		for j := 0; j < n; j++ {
+			res := mod.Access(phys[j], now)
+			now = res.Completion
+		}
+		done += n
 	}
 	return mod.Finalize().TotalHot64(), nil
 }

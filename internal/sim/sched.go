@@ -77,12 +77,15 @@ func (h *coreHeap) popMin() {
 }
 
 // runCores drives the event loop: always advance the earliest core so
-// accesses reach the controller in (approximately) global time order.
-func runCores(cores []*cpu.Core, access cpu.AccessFunc) {
+// accesses reach the controller in (approximately) global time order. Each
+// core step hands its whole MLP burst to the controller as one batch
+// (cpu.StepBatch), which is where the batched translation path pays off;
+// wrap scalar access functions with cpu.Serial.
+func runCores(cores []*cpu.Core, access cpu.BatchAccessFunc) {
 	h := newCoreHeap(cores)
 	for len(h.cores) > 0 {
 		c := h.min()
-		c.Step(access)
+		c.StepBatch(access)
 		if c.Done() {
 			h.popMin()
 		} else {

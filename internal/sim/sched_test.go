@@ -65,7 +65,7 @@ func TestHeapMatchesLinearScan(t *testing.T) {
 			const instr = 400_000
 			var gotOrder, wantOrder []uint64
 			heapCores := buildCores(t, n, instr)
-			runCores(heapCores, orderRecordingAccess(&gotOrder))
+			runCores(heapCores, cpu.Serial(orderRecordingAccess(&gotOrder)))
 			linCores := buildCores(t, n, instr)
 			linearRunCores(linCores, orderRecordingAccess(&wantOrder))
 
@@ -105,10 +105,10 @@ func TestHeapTieBreakOrder(t *testing.T) {
 	var heapIDs, linIDs []uint64
 	quarter := g.TotalLines() / 8
 	idOf := func(line uint64) uint64 { return line / quarter }
-	runCores(cores, func(line uint64, arrival float64) float64 {
+	runCores(cores, cpu.Serial(func(line uint64, arrival float64) float64 {
 		heapIDs = append(heapIDs, idOf(line))
 		return arrival + 40
-	})
+	}))
 	for i, p := range mustProfiles(t, "gcc", 8, g, 7) {
 		cores[i] = cpu.New(i, cpu.DefaultConfig(), p, 100_000, 12345)
 	}

@@ -24,7 +24,10 @@ import (
 // MapperFor constructs a mapping by name for geometry g. Names:
 // sequential, coffeelake, skylake, mop, largestride-gs{1,2,4},
 // rubixs-gs{1,2,4}, rubixd-gs{1,2,4}, staticxor-gs{1,2,4}.
-func MapperFor(name string, g geom.Geometry, seed uint64) (mapping.Mapper, error) {
+//
+// The result is the full translation surface — scalar and batched, both
+// directions — so callers never need capability type assertions.
+func MapperFor(name string, g geom.Geometry, seed uint64) (mapping.FullMapper, error) {
 	switch name {
 	case "sequential":
 		return mapping.NewSequential(), nil
@@ -158,7 +161,13 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	chk := cfg.Check
-	chk.AttachMapper(cfg.Geometry, mapper)
+	if fm, ok := mapper.(mapping.FullMapper); ok {
+		chk.AttachFullMapper(cfg.Geometry, fm)
+	} else {
+		// Map-only doubles (ablation/test fakes) get the reduced surface:
+		// collision window and census only, no inverse or batch probes.
+		chk.AttachMapper(cfg.Geometry, mapper)
+	}
 	mod := dram.New(dram.Config{
 		Geometry:    cfg.Geometry,
 		Timing:      cfg.Timing,
@@ -206,7 +215,7 @@ func Run(cfg Config) (*Result, error) {
 
 	rec.Phase("simulate")
 
-	runCores(cores, ctrl.Access)
+	runCores(cores, ctrl.AccessBatch)
 
 	rec.Phase("census")
 	stats := mod.Finalize()

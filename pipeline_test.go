@@ -78,6 +78,70 @@ func TestPipelineThrashingReachesMemory(t *testing.T) {
 	}
 }
 
+// TestPipelineBatchDrainMatchesScalar runs the same miss stream through two
+// identically-seeded pipelines, draining one miss at a time on one side and
+// in AccessBatch chunks on the other: the end-to-end DRAM statistics must be
+// identical. Covers a static mapping and Rubix-D, whose remap engine runs
+// inside the drain.
+func TestPipelineBatchDrainMatchesScalar(t *testing.T) {
+	for _, mapName := range []string{"coffeelake", "rubixd-gs4"} {
+		t.Run(mapName, func(t *testing.T) {
+			llcA, ctrlA, modA := buildPipeline(t, mapName)
+			llcB, ctrlB, modB := buildPipeline(t, mapName)
+			rA := rng.NewXoshiro256(7)
+			rB := rng.NewXoshiro256(7)
+			const accesses = 200_000
+			const workingLines = 4 << 20 / 8
+			const chunk = 8
+			nowA, nowB := 0.0, 0.0
+			var batchA, batchB []uint64
+			// Both sides issue each chunk's misses at one common arrival
+			// time (a burst, as cpu.Serial does); only the drain mechanism
+			// differs: per-line Access vs one AccessBatch call.
+			flush := func() {
+				if len(batchA) == 0 {
+					return
+				}
+				maxA := nowA
+				for _, line := range batchA {
+					if comp := ctrlA.Access(line, nowA); comp > maxA {
+						maxA = comp
+					}
+				}
+				nowA = maxA
+				nowB = ctrlB.AccessBatch(batchB, nowB)
+				if nowA != nowB {
+					t.Fatalf("burst completion diverged: scalar %.4f, batch %.4f", nowA, nowB)
+				}
+				batchA, batchB = batchA[:0], batchB[:0]
+			}
+			for i := 0; i < accesses; i++ {
+				lineA := rA.Uint64n(workingLines)
+				if !llcA.Access(lineA, false).Hit {
+					batchA = append(batchA, lineA)
+				}
+				lineB := rB.Uint64n(workingLines)
+				if !llcB.Access(lineB, false).Hit {
+					batchB = append(batchB, lineB)
+				}
+				if len(batchA) == chunk {
+					flush()
+				}
+			}
+			flush()
+			sA, sB := modA.Finalize(), modB.Finalize()
+			if sA.Accesses != sB.Accesses || sA.RowHits != sB.RowHits ||
+				sA.DemandActs != sB.DemandActs || sA.ExtraActs != sB.ExtraActs {
+				t.Fatalf("batch drain diverged from scalar:\nscalar %+v\nbatch  %+v", sA, sB)
+			}
+			if ctrlA.RemapSwaps() != ctrlB.RemapSwaps() {
+				t.Fatalf("swaps diverged: scalar %d, batch %d",
+					ctrlA.RemapSwaps(), ctrlB.RemapSwaps())
+			}
+		})
+	}
+}
+
 func TestPipelineHotPageThroughCacheStillMakesHotRow(t *testing.T) {
 	// The paper's effect survives an explicit cache: a working set larger
 	// than the LLC with a reuse-heavy hot region produces hot DRAM rows

@@ -78,6 +78,10 @@ type (
 	Profile = workload.Profile
 	// Mapper is the line-to-row mapping interface.
 	Mapper = mapping.Mapper
+	// FullMapper is the complete translation surface — scalar and batched
+	// (MapBatch/UnmapBatch), both directions. NewMapper returns it; every
+	// mapper in the repository implements it.
+	FullMapper = mapping.FullMapper
 	// CipherKey is the 96-bit key of the Rubix-S address cipher.
 	CipherKey = kcipher.Key
 	// RubixS is the static randomized mapping (the paper's §4).
@@ -109,8 +113,9 @@ func NewSuite(opts Options) *Suite { return sim.NewSuite(opts) }
 
 // NewMapper constructs a mapping by name: sequential, coffeelake, skylake,
 // mop, largestride-gsN, rubixs-gsN, rubixd-gsN, or staticxor-gsN
-// (N ∈ {1, 2, 4}).
-func NewMapper(name string, g Geometry, seed uint64) (Mapper, error) {
+// (N ∈ {1, 2, 4}). The result carries the full translation surface,
+// including the batched MapBatch/UnmapBatch path.
+func NewMapper(name string, g Geometry, seed uint64) (FullMapper, error) {
 	return sim.MapperFor(name, g, seed)
 }
 
@@ -154,7 +159,7 @@ const (
 
 // AttackProfiles builds attacker workloads hammering rows physically
 // adjacent to victim rows under the given mapping.
-func AttackProfiles(kind AttackKind, g Geometry, m Mapper, cores int, seed uint64) ([]Profile, error) {
+func AttackProfiles(kind AttackKind, g Geometry, m FullMapper, cores int, seed uint64) ([]Profile, error) {
 	return sim.AttackProfiles(kind, g, m, cores, seed)
 }
 
