@@ -1,6 +1,6 @@
 # Convenience targets mirroring the CI jobs (.github/workflows/ci.yml).
 
-.PHONY: all build test race race-concurrency lint ci profile bench bench-mapping benchdiff check-paranoid check-replay
+.PHONY: all build test race race-concurrency lint lint-audit ci profile bench bench-mapping benchdiff check-paranoid check-replay
 
 all: build test
 
@@ -20,13 +20,21 @@ race-concurrency:
 
 # The full local gate: vet plus the project invariants suite (determinism,
 # bitwidth, seedflow, panicpolicy, observereffect, addrwidth, errdiscard,
-# lockdiscipline, goroutineescape, goroutineleak, waitgroup — see
-# internal/lint). rubixlint -fix applies the suite's suggested fixes.
+# lockdiscipline, goroutineescape, goroutineleak, waitgroup, and the
+# domain/unit analyzers addrspace, unitflow, hotalloc — see internal/lint).
+# rubixlint -fix applies the suite's suggested fixes, including the
+# addrspace `// addr:` annotation autofix.
 lint:
 	go vet ./...
 	go run ./cmd/rubixlint ./...
 
-ci: build test race lint
+# Guard hygiene: every //lint:allow in the tree must still suppress a live
+# finding, carry a justification, and name a registered analyzer. Fails on
+# stale guards so suppressions rot is caught at review time.
+lint-audit:
+	go run ./cmd/rubixlint -allow-audit ./...
+
+ci: build test race lint lint-audit
 
 # Refresh the committed benchmark baseline for the sim hot path
 # (mapping/cipher/DRAM/core micro-benchmarks plus the end-to-end run).

@@ -1,14 +1,17 @@
 // Command rubixlint runs the project's static-analysis suite (see
 // internal/lint: determinism, bitwidth, seedflow, panicpolicy, the
-// interprocedural observereffect, addrwidth, and errdiscard analyzers, and
-// the concurrency gates lockdiscipline, goroutineescape, goroutineleak, and
-// waitgroup) over the module.
+// interprocedural observereffect, addrwidth, and errdiscard analyzers, the
+// concurrency gates lockdiscipline, goroutineescape, goroutineleak, and
+// waitgroup, and the domain/unit analyzers addrspace, unitflow, and
+// hotalloc) over the module.
 //
 // Usage:
 //
 //	go run ./cmd/rubixlint ./...
 //	go run ./cmd/rubixlint -fix ./internal/dram ./internal/sim
 //	go run ./cmd/rubixlint -sarif ./... > lint.sarif
+//	go run ./cmd/rubixlint -only addrspace,unitflow ./...
+//	go run ./cmd/rubixlint -allow-audit ./...
 //
 // With no arguments (or "./...") the whole module is checked. The whole
 // module is always *loaded* — the interprocedural analyzers need the full
@@ -17,13 +20,19 @@
 //
 // Flags:
 //
-//	-fix    apply the first suggested fix of every finding in place
-//	-json   emit findings as a JSON array instead of text
-//	-sarif  emit findings as minimal SARIF 2.1.0 instead of text
+//	-fix          apply the first suggested fix of every finding in place
+//	-json         emit findings as a JSON document instead of text
+//	-sarif        emit findings as minimal SARIF 2.1.0 instead of text
+//	-only names   run only the named analyzers (comma-separated); an
+//	              unknown name is a usage error (exit 2)
+//	-allow-audit  audit //lint:allow directives instead of reporting
+//	              findings: stale guards (the suppressed finding no longer
+//	              fires), guards with no justification, and guards naming
+//	              unknown analyzers all fail the run
 //
 // Exit status: 0 when clean, 1 when findings survive the //lint:allow
-// annotations (or -fix left unfixable findings), 2 on load or internal
-// errors.
+// annotations (or -fix left unfixable findings, or -allow-audit found bad
+// guards), 2 on load, usage, or internal errors.
 package main
 
 import (
@@ -49,10 +58,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fix := fs.Bool("fix", false, "apply the first suggested fix of every finding in place")
 	asJSON := fs.Bool("json", false, "emit findings as JSON")
 	asSARIF := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	audit := fs.Bool("allow-audit", false, "audit //lint:allow directives: fail on stale or unjustified guards")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: rubixlint [-fix] [-json|-sarif] [packages]\n\nRuns the project invariants suite over the module.\n\nAnalyzers:\n")
+		fmt.Fprintf(stderr, "usage: rubixlint [-fix] [-json|-sarif] [-only names] [-allow-audit] [packages]\n\nRuns the project invariants suite over the module.\n\nAnalyzers:\n")
 		for _, a := range lint.All() {
-			fmt.Fprintf(stderr, "  %-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stderr, "  %-16s %s\n", a.Name, a.Doc)
 		}
 		fs.PrintDefaults()
 	}
@@ -61,6 +72,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *asJSON && *asSARIF {
 		fmt.Fprintln(stderr, "rubixlint: -json and -sarif are mutually exclusive")
+		return 2
+	}
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(stderr, "rubixlint:", err)
+		fs.Usage()
 		return 2
 	}
 
@@ -79,7 +96,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "rubixlint:", err)
 		return 2
 	}
-	diags, err := lint.Run(pkgs, lint.All(), scope)
+
+	if *audit {
+		findings, err := lint.AuditAllows(pkgs, analyzers, scope)
+		if err != nil {
+			fmt.Fprintln(stderr, "rubixlint:", err)
+			return 2
+		}
+		for _, f := range findings {
+			s := f.String()
+			if rel, rerr := filepath.Rel(root, f.Directive.Pos.Filename); rerr == nil {
+				s = strings.Replace(s, f.Directive.Pos.Filename, rel, 1)
+			}
+			fmt.Fprintln(stdout, s)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(stderr, "rubixlint: %d allow-audit finding(s)\n", len(findings))
+			return 1
+		}
+		return 0
+	}
+
+	diags, err := lint.Run(pkgs, analyzers, scope)
 	if err != nil {
 		fmt.Fprintln(stderr, "rubixlint:", err)
 		return 2
@@ -130,6 +168,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// selectAnalyzers resolves the -only flag: an empty spec selects the full
+// suite, otherwise each comma-separated name must match a registered
+// analyzer exactly (a typo silently running zero analyzers would read as a
+// clean tree, so unknown names are a usage error).
+func selectAnalyzers(spec string) ([]*lint.Analyzer, error) {
+	if spec == "" {
+		return lint.All(), nil
+	}
+	var out []*lint.Analyzer
+	seen := make(map[string]bool)
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := lint.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("-only: unknown analyzer %q", name)
+		}
+		if !seen[a.Name] {
+			seen[a.Name] = true
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-only: no analyzers selected from %q", spec)
+	}
+	return out, nil
+}
+
 // patternScope composes the repository scope policy with the requested
 // package patterns. The whole module stays loaded — the value-flow graph
 // spans it — and patterns only narrow which packages findings are reported
@@ -178,35 +246,53 @@ func patternScope(pkgs []*lint.Package, patterns []string, root, modulePath stri
 	}, nil
 }
 
-// jsonDiagnostic is the -json output shape.
+// jsonSchema identifies the -json document shape; jsonSchemaVersion bumps
+// on any incompatible change to it. Consumers should reject documents whose
+// schema string they do not recognize and tolerate version increments that
+// only add fields.
+const (
+	jsonSchema        = "rubixlint-findings"
+	jsonSchemaVersion = 1
+)
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Schema   string           `json:"schema"`
+	Version  int              `json:"version"`
+	Findings []jsonDiagnostic `json:"findings"`
+}
+
+// jsonDiagnostic is one finding in the -json output. Rule is the stable
+// analyzer identifier and is byte-identical to the SARIF ruleId for the
+// same finding, so cross-format correlation is a string compare.
 type jsonDiagnostic struct {
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Column   int    `json:"column"`
-	Analyzer string `json:"analyzer"`
-	Message  string `json:"message"`
-	Fixable  bool   `json:"fixable"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+	Fixable bool   `json:"fixable"`
 }
 
 func writeJSON(w io.Writer, root string, diags []lint.Diagnostic) error {
-	out := make([]jsonDiagnostic, 0, len(diags))
+	findings := make([]jsonDiagnostic, 0, len(diags))
 	for _, d := range diags {
 		file := d.Pos.Filename
 		if rel, err := filepath.Rel(root, file); err == nil {
 			file = filepath.ToSlash(rel)
 		}
-		out = append(out, jsonDiagnostic{
-			File:     file,
-			Line:     d.Pos.Line,
-			Column:   d.Pos.Column,
-			Analyzer: d.Analyzer,
-			Message:  d.Message,
-			Fixable:  len(d.Fixes) > 0,
+		findings = append(findings, jsonDiagnostic{
+			File:    file,
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+			Rule:    d.Analyzer,
+			Message: d.Message,
+			Fixable: len(d.Fixes) > 0,
 		})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return enc.Encode(jsonReport{Schema: jsonSchema, Version: jsonSchemaVersion, Findings: findings})
 }
 
 // SARIF 2.1.0 minimal shapes — just enough for code-scanning upload.

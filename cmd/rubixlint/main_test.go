@@ -153,7 +153,8 @@ func TestFixIdempotent(t *testing.T) {
 	}
 }
 
-// TestJSONOutput pins the -json shape.
+// TestJSONOutput pins the -json envelope: schema/version header plus a
+// findings array whose rule ids are shared with the SARIF output.
 func TestJSONOutput(t *testing.T) {
 	writeModule(t, map[string]string{
 		"lib/lib.go": libSrc,
@@ -163,15 +164,254 @@ func TestJSONOutput(t *testing.T) {
 	if code := run([]string{"-json"}, &out, &errb); code != 1 {
 		t.Fatalf("exit = %d, want 1\nstderr: %s", code, errb.String())
 	}
-	var diags []jsonDiagnostic
-	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+	var report jsonReport
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
 		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
 	}
-	if len(diags) != 1 || diags[0].Analyzer != "errdiscard" || !diags[0].Fixable {
+	if report.Schema != jsonSchema || report.Version != jsonSchemaVersion {
+		t.Errorf("envelope = %q v%d, want %q v%d", report.Schema, report.Version, jsonSchema, jsonSchemaVersion)
+	}
+	diags := report.Findings
+	if len(diags) != 1 || diags[0].Rule != "errdiscard" || !diags[0].Fixable {
 		t.Errorf("unexpected -json payload: %+v", diags)
 	}
 	if diags[0].File != "use/use.go" {
 		t.Errorf("file = %q, want module-relative use/use.go", diags[0].File)
+	}
+}
+
+// TestJSONDeterministic pins byte-identical -json output across two runs of
+// the same tree: CI diffing and caching depend on it.
+func TestJSONDeterministic(t *testing.T) {
+	writeModule(t, map[string]string{
+		"lib/lib.go": libSrc,
+		"use/use.go": discardSrc,
+	})
+	var first, second, errb bytes.Buffer
+	if code := run([]string{"-json"}, &first, &errb); code != 1 {
+		t.Fatalf("first run: exit = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"-json"}, &second, &errb); code != 1 {
+		t.Fatalf("second run: exit = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("-json output differs between runs:\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
+	}
+}
+
+// TestJSONRuleMatchesSARIFRuleID pins the cross-format contract: the same
+// finding carries the same rule identifier in -json and -sarif.
+func TestJSONRuleMatchesSARIFRuleID(t *testing.T) {
+	writeModule(t, map[string]string{
+		"lib/lib.go": libSrc,
+		"use/use.go": discardSrc,
+	})
+	var jsonOut, sarifOut, errb bytes.Buffer
+	if code := run([]string{"-json"}, &jsonOut, &errb); code != 1 {
+		t.Fatalf("-json run: exit = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"-sarif"}, &sarifOut, &errb); code != 1 {
+		t.Fatalf("-sarif run: exit = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	var report jsonReport
+	if err := json.Unmarshal(jsonOut.Bytes(), &report); err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(sarifOut.Bytes(), &log); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Findings) != 1 || len(log.Runs) != 1 || len(log.Runs[0].Results) != 1 {
+		t.Fatalf("want exactly one finding in both formats, got %d json / %d sarif",
+			len(report.Findings), len(log.Runs[0].Results))
+	}
+	if jr, sr := report.Findings[0].Rule, log.Runs[0].Results[0].RuleID; jr != sr {
+		t.Errorf("json rule %q != sarif ruleId %q", jr, sr)
+	}
+}
+
+// TestOnlyUnknownAnalyzer pins the -only contract: a typo'd analyzer name is
+// a usage error (exit 2), never a silently clean run.
+func TestOnlyUnknownAnalyzer(t *testing.T) {
+	writeModule(t, map[string]string{"lib/lib.go": libSrc})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-only", "errdiscard,nosuchanalyzer"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "nosuchanalyzer") {
+		t.Errorf("stderr does not name the unknown analyzer:\n%s", errb.String())
+	}
+}
+
+// TestOnlySelects pins that -only narrows the suite: the errdiscard finding
+// fires under -only errdiscard and disappears under -only determinism.
+func TestOnlySelects(t *testing.T) {
+	writeModule(t, map[string]string{
+		"lib/lib.go": libSrc,
+		"use/use.go": discardSrc,
+	})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-only", "errdiscard"}, &out, &errb); code != 1 {
+		t.Fatalf("-only errdiscard: exit = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-only", "determinism"}, &out, &errb); code != 0 {
+		t.Fatalf("-only determinism: exit = %d, want 0\nstdout: %s\nstderr: %s",
+			code, out.String(), errb.String())
+	}
+}
+
+// TestAllowAudit pins -allow-audit: a stale guard and an unjustified guard
+// each fail the run with a named finding; a live justified guard passes.
+func TestAllowAudit(t *testing.T) {
+	writeModule(t, map[string]string{
+		"lib/lib.go": libSrc,
+		"use/use.go": `// Package use is a fixture.
+package use
+
+import "tmpmod/lib"
+
+// Get drops the error, guarded with a reason.
+func Get() (int, error) {
+	//lint:allow errdiscard fixture exercises the guard path
+	v, _ := lib.New(1)
+	return v, nil
+}
+
+// Stale carries a guard with nothing left to suppress.
+func Stale() (int, error) {
+	//lint:allow errdiscard nothing fires here anymore
+	return lib.New(1)
+}
+
+// Bare carries a guard with no justification.
+func Bare() (int, error) {
+	//lint:allow errdiscard
+	v, _ := lib.New(2)
+	return v, nil
+}
+`,
+	})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-allow-audit"}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "stale") {
+		t.Errorf("audit output missing stale finding:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "justification") {
+		t.Errorf("audit output missing unjustified finding:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "exercises the guard path") {
+		t.Errorf("live justified guard was reported:\n%s", out.String())
+	}
+}
+
+// TestAllowAuditClean pins exit 0 when every guard is live and justified.
+func TestAllowAuditClean(t *testing.T) {
+	writeModule(t, map[string]string{
+		"lib/lib.go": libSrc,
+		"use/use.go": `// Package use is a fixture.
+package use
+
+import "tmpmod/lib"
+
+// Get drops the error under a justified guard.
+func Get() (int, error) {
+	//lint:allow errdiscard fixture exercises the guard path
+	v, _ := lib.New(1)
+	return v, nil
+}
+`,
+	})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-allow-audit"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+}
+
+// TestAllowAuditPatternScope pins that auditing a package subset leaves
+// guards in dependency packages alone: analyzers never ran there, so judging
+// them would report every one stale.
+func TestAllowAuditPatternScope(t *testing.T) {
+	writeModule(t, map[string]string{
+		"lib/lib.go": `// Package lib is a fixture.
+package lib
+
+import "errors"
+
+// New returns n or an error.
+func New(n int) (int, error) {
+	if n < 0 {
+		return 0, errors.New("negative")
+	}
+	return n, nil
+}
+
+// Probe drops the error under a guard that is live when lib is audited.
+func Probe() int {
+	//lint:allow errdiscard fixture: the probe tolerates failure
+	v, _ := New(1)
+	return v
+}
+`,
+		"use/use.go": `// Package use is a fixture.
+package use
+
+import "tmpmod/lib"
+
+// Get drops the error under a justified guard.
+func Get() (int, error) {
+	//lint:allow errdiscard fixture exercises the guard path
+	v, _ := lib.New(1)
+	return v, nil
+}
+`,
+	})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-allow-audit", "./use"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if strings.Contains(out.String(), "lib.go") {
+		t.Errorf("out-of-pattern guard was audited:\n%s", out.String())
+	}
+}
+
+// TestAllowAuditOnlySubset pins that auditing under -only skips guards
+// naming registered-but-unselected analyzers (their liveness is unknowable
+// in this run) while still flagging genuinely unknown names.
+func TestAllowAuditOnlySubset(t *testing.T) {
+	writeModule(t, map[string]string{
+		"lib/lib.go": libSrc,
+		"use/use.go": `// Package use is a fixture.
+package use
+
+import "tmpmod/lib"
+
+// Get drops the error under a justified guard; the determinism guard names
+// a real analyzer outside the -only selection and the nosuchlint guard
+// names nothing.
+func Get() (int, error) {
+	//lint:allow determinism fixture: not judged when unselected
+	//lint:allow nosuchlint fixture: never registered
+	//lint:allow errdiscard fixture exercises the guard path
+	v, _ := lib.New(1)
+	return v, nil
+}
+`,
+	})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-allow-audit", "-only", "errdiscard"}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "nosuchlint") {
+		t.Errorf("unknown-analyzer guard not reported:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "determinism") {
+		t.Errorf("unselected analyzer's guard was judged:\n%s", out.String())
 	}
 }
 

@@ -12,6 +12,10 @@
 // no-op receiver for every hook, so components embed `if chk != nil` branches
 // (or call nil-safe methods) and the checker-off hot path stays allocation-
 // free — the cmd/benchdiff gate holds with the hooks compiled in.
+//
+// cold: paranoid mode is opt-in debug machinery; with the checker attached,
+// allocation and overhead are accepted by construction, so hotalloc's
+// reachability stops at this package boundary.
 package check
 
 import (

@@ -147,8 +147,8 @@ type vGroupState struct {
 // open-row-X, read, open-row-Y, write, open-row-X again — 3 ACTs and
 // 2×gangSize CAS reads plus 2×gangSize CAS writes.
 type SwapOp struct {
-	RowX uint64 // global row of the gang at Ptr
-	RowY uint64 // global row of its destination (Ptr ^ nextKey)
+	RowX uint64 // global row of the gang at Ptr; addr: row
+	RowY uint64 // global row of its destination (Ptr ^ nextKey); addr: row
 	Acts int    // activations performed (3)
 	CAS  int    // column accesses performed (4 × gangSize)
 }
@@ -286,17 +286,20 @@ func (d *RubixD) UntranslateGroup(group int, rowAddr uint64) uint64 {
 	return untranslate(&d.groups[group], rowAddr&d.rowMask)
 }
 
-// split decomposes a line address into (rowAddr, segment, vgroup, lineInGang).
+// split decomposes an address into (rowAddr, segment, vgroup, lineInGang).
+// It is deliberately domain-neutral: the seg/vgroup/lig coordinates are
+// invariant under the per-circuit row translation, so split is applied to
+// logical lines (Map) and physical lines (Unmap, NoteActivation) alike.
 //
 // The v-segment (§5.4) is formed from the LOW bits of the row-within-bank
 // address — "every Nth row of the v-group forms a v-segment" — which sit
 // just above the channel/rank/bank select bits of the global row index.
 // The select bits stay inside the translated address so segmentation never
 // exempts bank selection from randomization.
-func (d *RubixD) split(line uint64) (rowAddr, seg, vgroup, lig uint64) {
-	lig = line & ((1 << d.gangBits) - 1)
-	vgroup = line >> d.gangBits & ((1 << d.pBits) - 1)
-	full := line >> (d.gangBits + d.pBits)
+func (d *RubixD) split(addr uint64) (rowAddr, seg, vgroup, lig uint64) {
+	lig = addr & ((1 << d.gangBits) - 1)
+	vgroup = addr >> d.gangBits & ((1 << d.pBits) - 1)
+	full := addr >> (d.gangBits + d.pBits)
 	sel := full & ((1 << d.selBits) - 1)
 	rest := full >> d.selBits
 	seg = rest & ((1 << d.segBits) - 1)

@@ -146,6 +146,8 @@ func (c *Core) Step(access AccessFunc) {
 // the same issue time there too — then handed to access as one batch.
 // Step(f) and StepBatch(Serial(f)) are byte-identical by construction
 // (TestStepBatchMatchesStep pins it).
+//
+// hot: one call per simulated miss burst.
 func (c *Core) StepBatch(access BatchAccessFunc) {
 	gap := c.rng.Geometric(c.meanGap)
 	c.Now += float64(gap) * c.cfg.BaseCPI / c.cfg.FreqGHz
@@ -154,6 +156,7 @@ func (c *Core) StepBatch(access BatchAccessFunc) {
 	issue := c.Now
 	c.lines = c.lines[:0]
 	for k := 0; ; k++ {
+		//lint:allow hotalloc append reuses the burst buffer truncated above; capacity growth stops at mlpCap after the first bursts
 		c.lines = append(c.lines, c.profile.Gen.Next())
 		if k+1 >= c.mlpCap || !c.profile.Gen.InBurst() {
 			break

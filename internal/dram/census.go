@@ -34,7 +34,7 @@ package dram
 // claimed the slot, and the activation count. 16 bytes, so probe chains
 // stay within a cache line.
 type censusSlot struct {
-	row   uint64
+	row   uint64 // addr: row
 	epoch uint32
 	acts  uint32
 }
@@ -82,6 +82,9 @@ func log2u64(v uint64) uint {
 // get returns the slot index for row, claiming a free slot on first touch
 // within the current window. The index is valid until the next get or
 // reset call (growth may move entries).
+//
+// hot: the per-activation census lookup; allocation-free by the PR 4
+// contract (benchdiff pins 0 allocs/op), growth is amortized into grow.
 func (c *flatCensus) get(row uint64) int {
 	if (c.live+1)*4 > len(c.slots)*3 {
 		c.grow()
@@ -110,6 +113,9 @@ func (c *flatCensus) get(row uint64) int {
 }
 
 // grow doubles the table and reinserts the current window's live entries.
+//
+// cold: geometric growth amortizes to zero allocations per access once the
+// table reaches the window's working-set size.
 func (c *flatCensus) grow() {
 	old := c.slots
 	oldLines := c.lines

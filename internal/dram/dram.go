@@ -77,7 +77,7 @@ func (t Timing) WithRefresh() Timing {
 }
 
 type bankState struct {
-	openRow      int64 // global row index currently open; -1 if closed
+	openRow      int64 // global row index currently open; -1 if closed; addr: row
 	openAccesses int
 	lastActStart float64
 	readyAt      float64
@@ -90,7 +90,7 @@ type bankState struct {
 type AccessResult struct {
 	Completion float64 // ns at which data is available
 	ActStart   float64 // ns of the activation, if one occurred
-	GlobalRow  uint64
+	GlobalRow  uint64 // addr: row
 	RowHit     bool
 	Activated  bool
 }
@@ -443,6 +443,10 @@ func (m *Module) rollWindow() {
 	m.windowEnd += m.Timing.RefreshWindow
 }
 
+// finalizeWindow closes the current refresh window into the stats record.
+//
+// cold: runs once per refresh window (milliseconds of simulated time), not
+// per access; the per-window stats append is the intended record.
 func (m *Module) finalizeWindow() {
 	w := WindowStats{Start: m.stats.currentStart, UniqueRows: m.census.len()}
 	var tableActs uint64

@@ -42,7 +42,7 @@ type Location struct {
 	Channel int
 	Rank    int
 	Bank    int    // bank within rank
-	Row     int    // row within bank
+	Row     int    // row within bank; addr: row
 	Slot    int    // line within row
 	Global  uint64 // global row index (unique across the system)
 }

@@ -1,0 +1,176 @@
+package lint
+
+import "testing"
+
+// allDomains enumerates every single-bit domain of both families.
+var allDomains = []domain{domLine, domPhys, domRow, domCipher, domNs, domCycle, domRefresh}
+
+// TestDomainLattice pins the lattice laws the propagation relies on: join
+// and meet are idempotent, commutative, and associative; they absorb each
+// other; ⊥ is the identity of join and the zero of meet.
+func TestDomainLattice(t *testing.T) {
+	elems := []domain{0}
+	elems = append(elems, allDomains...)
+	// A few mixed masks exercise the non-atom part of the powerset.
+	elems = append(elems, domLine|domPhys, domNs|domCycle|domRefresh, addrFamily, unitFamily, addrFamily|unitFamily)
+
+	for _, a := range elems {
+		if got := a.join(a); got != a {
+			t.Errorf("join not idempotent: %v ∨ %v = %v", a, a, got)
+		}
+		if got := a.meet(a); got != a {
+			t.Errorf("meet not idempotent: %v ∧ %v = %v", a, a, got)
+		}
+		if got := a.join(0); got != a {
+			t.Errorf("⊥ not join identity: %v ∨ ⊥ = %v", a, got)
+		}
+		if got := a.meet(0); got != 0 {
+			t.Errorf("⊥ not meet zero: %v ∧ ⊥ = %v", a, got)
+		}
+		for _, b := range elems {
+			if a.join(b) != b.join(a) {
+				t.Errorf("join not commutative: %v, %v", a, b)
+			}
+			if a.meet(b) != b.meet(a) {
+				t.Errorf("meet not commutative: %v, %v", a, b)
+			}
+			if got := a.join(a.meet(b)); got != a {
+				t.Errorf("absorption a ∨ (a ∧ b) failed: %v, %v → %v", a, b, got)
+			}
+			if got := a.meet(a.join(b)); got != a {
+				t.Errorf("absorption a ∧ (a ∨ b) failed: %v, %v → %v", a, b, got)
+			}
+			for _, c := range elems {
+				if a.join(b.join(c)) != a.join(b).join(c) {
+					t.Errorf("join not associative: %v, %v, %v", a, b, c)
+				}
+				if a.meet(b.meet(c)) != a.meet(b).meet(c) {
+					t.Errorf("meet not associative: %v, %v, %v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+// TestDomainSingleAndString pins the mask predicates and rendering the
+// diagnostics depend on.
+func TestDomainSingleAndString(t *testing.T) {
+	if domain(0).String() != "⊥" {
+		t.Errorf("⊥ renders as %q", domain(0).String())
+	}
+	for _, d := range allDomains {
+		if !d.single() {
+			t.Errorf("%v is an atom but single() is false", d)
+		}
+		if _, ok := domainNames[d]; !ok {
+			t.Errorf("atom %b has no name", uint16(d))
+		}
+	}
+	for _, c := range []struct {
+		d    domain
+		want string
+	}{
+		{domLine, "line"},
+		{domLine | domPhys, "line|phys"},
+		{domPhys | domLine, "line|phys"}, // rendering order is lattice order, not join order
+		{domNs | domRefresh, "ns|refresh"},
+	} {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("String(%b) = %q, want %q", uint16(c.d), got, c.want)
+		}
+	}
+	if (domLine | domPhys).single() {
+		t.Error("mixed mask reported single")
+	}
+}
+
+// TestParseDomainRoundTrip pins that every annotation spelling resolves to
+// the atom that renders back to it.
+func TestParseDomainRoundTrip(t *testing.T) {
+	for _, d := range allDomains {
+		got, ok := parseDomain(d.String())
+		if !ok || got != d {
+			t.Errorf("parseDomain(%q) = %v, %v", d.String(), got, ok)
+		}
+	}
+	if _, ok := parseDomain("parsec"); ok {
+		t.Error("parseDomain accepted an unknown spelling")
+	}
+}
+
+// TestDomainFamilies pins the family partition: every atom belongs to
+// exactly one family, and family() is a restriction.
+func TestDomainFamilies(t *testing.T) {
+	if addrFamily&unitFamily != 0 {
+		t.Fatalf("families overlap: %v", addrFamily&unitFamily)
+	}
+	for _, d := range allDomains {
+		inAddr := d.family(addrFamily) != 0
+		inUnit := d.family(unitFamily) != 0
+		if inAddr == inUnit {
+			t.Errorf("%v not in exactly one family", d)
+		}
+	}
+	mixed := domLine | domNs
+	if got := mixed.family(addrFamily); got != domLine {
+		t.Errorf("family restriction: %v → %v, want line", mixed, got)
+	}
+	if got := mixed.family(unitFamily); got != domNs {
+		t.Errorf("family restriction: %v → %v, want ns", mixed, got)
+	}
+}
+
+// TestConverterTableSoundness pins the conversion-edge contract of the
+// signature pin table: every surface declaring both an input and an output
+// domain must actually convert (different domains on each side), and every
+// declared domain is a single atom of the address family — a table row
+// pinning a mixed mask would poison the seeds.
+func TestConverterTableSoundness(t *testing.T) {
+	for name, fd := range addrFuncPins {
+		var in, out domain
+		check := func(d domain, side string) {
+			if !d.single() {
+				t.Errorf("%s: %s domain %v is not a single atom", name, side, d)
+			}
+			if d.family(addrFamily) != d {
+				t.Errorf("%s: %s domain %v leaves the address family", name, side, d)
+			}
+		}
+		for _, d := range fd.params {
+			check(d, "param")
+			in |= d
+		}
+		for _, d := range fd.results {
+			check(d, "result")
+			out |= d
+		}
+		for _, d := range fd.out {
+			check(d, "out-slice")
+			out |= d
+		}
+		if in != 0 && out != 0 && in == out {
+			t.Errorf("%s: declares %v on both sides; a converter must convert", name, in)
+		}
+	}
+}
+
+// TestAnalyzerScopeTable pins the bijection between the registered suite and
+// the scope pin table: every analyzer has exactly one scope row and every
+// row names a registered analyzer.
+func TestAnalyzerScopeTable(t *testing.T) {
+	names := make(map[string]bool)
+	for _, a := range All() {
+		names[a.Name] = true
+		if _, ok := analyzerScope[a.Name]; !ok {
+			t.Errorf("analyzer %q registered in All() but missing from analyzerScope", a.Name)
+		}
+	}
+	for name := range analyzerScope {
+		if !names[name] {
+			t.Errorf("analyzerScope row %q names no registered analyzer", name)
+		}
+	}
+	if len(analyzerScope) != len(All()) {
+		t.Errorf("analyzerScope has %d rows, All() has %d analyzers", len(analyzerScope), len(All()))
+	}
+}

@@ -147,6 +147,14 @@ type Program struct {
 	// conc memoizes the concurrency-fact database (see conc.go), built on
 	// first use by a concurrency analyzer.
 	conc *concFacts
+
+	// dom memoizes the domain-fact database (see domain.go), built on first
+	// use by addrspace, unitflow, or hotalloc.
+	dom *domainFacts
+
+	// ifaceImpls memoizes interface-method → concrete-implementation edges
+	// (see hotalloc.go), built on first use by hot reachability.
+	ifaceImpls map[*types.Func][]*types.Func
 }
 
 // BuildProgram constructs the value-flow graph over the loaded packages.

@@ -1,17 +1,28 @@
-// Package lint is a small static-analysis framework plus the project's four
-// analyzers. It enforces, as machine-checked invariants, the contracts the
-// simulator's evaluation rests on:
+// Package lint is a small static-analysis framework plus the project's
+// analyzer suite. It enforces, as machine-checked invariants, the contracts
+// the simulator's evaluation rests on:
 //
 //   - determinism: simulation packages must not consult wall-clock time,
 //     math/rand, mutable package-level state, or unordered map iteration —
 //     the "same seeds ⇒ same activations" replay contract of internal/rng.
-//   - bitwidth: line/row address arithmetic must not silently truncate —
-//     shifts past the operand width, masks wider than the line-address
-//     domain, and unguarded narrowing conversions are flagged.
+//   - bitwidth / addrwidth: line/row address arithmetic must not silently
+//     truncate — shifts past the operand width, masks wider than the
+//     line-address domain, and unguarded narrowing conversions are flagged,
+//     locally and through the value-flow graph.
 //   - seedflow: every RNG must be seeded from configuration, never from a
 //     literal constant, so experiments stay reseedable.
 //   - panicpolicy: library packages return errors instead of panicking,
 //     except documented programmer-error invariant guards.
+//   - observereffect / errdiscard: metrics reads must not feed back into
+//     simulation state, and module-internal errors must be handled.
+//   - lockdiscipline, goroutineescape, goroutineleak, waitgroup: the
+//     concurrency-safety gates over the shared concurrency-facts layer.
+//   - addrspace / unitflow: values live in one address domain
+//     (line/phys/row/cipher) or time unit (ns/cycle/refresh) and may only
+//     change domain through a declared converter (see domain.go).
+//   - hotalloc: functions marked `// hot` — and everything they reach
+//     through the call graph — must not allocate; `// cold` stops the
+//     traversal.
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis but is
 // built only on the standard library's go/ast and go/types, because this
@@ -21,7 +32,9 @@
 //	//lint:allow <analyzer> <justification>
 //
 // The justification is mandatory: an allow directive without one does not
-// suppress anything.
+// suppress anything. AuditAllows judges the directives themselves: stale
+// or unjustified guards and unknown analyzer names are reported by the
+// driver's -allow-audit mode.
 package lint
 
 import (
@@ -111,7 +124,18 @@ func All() []*Analyzer {
 		Determinism, Bitwidth, Seedflow, Panicpolicy,
 		ObserverEffect, AddrWidth, ErrDiscard,
 		LockDiscipline, GoroutineEscape, GoroutineLeak, WaitGroup,
+		AddrSpace, UnitFlow, HotAlloc,
 	}
+}
+
+// ByName resolves an analyzer from the suite by its identifier.
+func ByName(name string) (*Analyzer, bool) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
 }
 
 // Scope decides which analyzers run on which packages.
@@ -121,16 +145,48 @@ type Scope func(a *Analyzer, pkgPath string) bool
 // tests, which select scope by testdata layout instead).
 func EverythingScope(*Analyzer, string) bool { return true }
 
-// DefaultScope is the repository policy: seedflow and errdiscard gate every
-// package; panicpolicy gates library (internal/...) packages; determinism,
-// bitwidth, and addrwidth gate the simulation packages — internal/... minus
-// the lint tool itself, which is tooling rather than simulation and may
-// e.g. iterate maps after sorting for report ordering; observereffect gates
-// the simulation packages minus internal/metrics, whose own implementation
-// legitimately reads the values it records; the concurrency analyzers
-// (lockdiscipline, goroutineescape, goroutineleak, waitgroup) gate every
-// package, because goroutine fan-outs live in the command drivers and the
-// lint tooling as much as in the library.
+// scopeClass names one row of the repository scope policy.
+type scopeClass int
+
+const (
+	// scopeAll gates every package: library code, the command drivers
+	// (which own the goroutine fan-outs), and the lint tooling itself.
+	scopeAll scopeClass = iota
+	// scopeInternal gates library (internal/...) packages.
+	scopeInternal
+	// scopeSim gates the simulation packages: internal/... minus the lint
+	// tool, which is tooling rather than simulation and may e.g. iterate
+	// maps after sorting for report ordering.
+	scopeSim
+	// scopeSimNoMetrics is scopeSim minus internal/metrics, whose own
+	// implementation legitimately reads the values it records.
+	scopeSimNoMetrics
+)
+
+// analyzerScope is the declarative scope pin table: every analyzer in All()
+// has exactly one row here (TestAnalyzerScopeTable pins the bijection), so
+// adding an analyzer without deciding its scope is a test failure rather
+// than a silent fall-through.
+var analyzerScope = map[string]scopeClass{
+	"seedflow":        scopeAll,
+	"errdiscard":      scopeAll,
+	"lockdiscipline":  scopeAll,
+	"goroutineescape": scopeAll,
+	"goroutineleak":   scopeAll,
+	"waitgroup":       scopeAll,
+	"panicpolicy":     scopeInternal,
+	"observereffect":  scopeSimNoMetrics,
+	"determinism":     scopeSim,
+	"bitwidth":        scopeSim,
+	"addrwidth":       scopeSim,
+	"addrspace":       scopeSim,
+	"unitflow":        scopeSim,
+	"hotalloc":        scopeSim,
+}
+
+// DefaultScope is the repository policy, driven by the analyzerScope pin
+// table. An analyzer missing from the table defaults to the narrowest class
+// (scopeSim) — but the table test keeps that from happening unnoticed.
 func DefaultScope(modulePath string) Scope {
 	internalPrefix := modulePath + "/internal/"
 	lintPrefix := modulePath + "/internal/lint"
@@ -138,65 +194,56 @@ func DefaultScope(modulePath string) Scope {
 	return func(a *Analyzer, pkgPath string) bool {
 		inInternal := strings.HasPrefix(pkgPath, internalPrefix)
 		simPkg := inInternal && !strings.HasPrefix(pkgPath, lintPrefix)
-		switch a.Name {
-		case "seedflow", "errdiscard":
+		class, ok := analyzerScope[a.Name]
+		if !ok {
+			class = scopeSim
+		}
+		switch class {
+		case scopeAll:
 			return true
-		case "lockdiscipline", "goroutineescape", "goroutineleak", "waitgroup":
-			// Concurrency safety gates everything: library packages, the
-			// command drivers (which own the goroutine fan-outs), and the
-			// lint tooling itself (linttest caches across parallel tests).
-			return true
-		case "panicpolicy":
+		case scopeInternal:
 			return inInternal
-		case "observereffect":
+		case scopeSimNoMetrics:
 			return simPkg && pkgPath != metricsPath
-		default: // determinism, bitwidth, addrwidth
+		default:
 			return simPkg
 		}
 	}
 }
 
-// Run applies the analyzers to the packages under the scope policy, filters
-// suppressed findings, and returns the rest ordered by position. The
-// whole-module value-flow Program is built once, lazily, and shared by every
-// analyzer that requests it.
-func Run(pkgs []*Package, analyzers []*Analyzer, scope Scope) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	var prog *Program
-	for _, pkg := range pkgs {
-		allows := collectAllows(pkg)
-		for _, a := range analyzers {
-			if !scope(a, pkg.Path) {
-				continue
-			}
-			if a.NeedsProgram && prog == nil {
-				prog = BuildProgram(pkgs)
-			}
-			var raw []Diagnostic
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				Prog:     prog,
-				LintPkg:  pkg,
-				diags:    &raw,
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
-			}
-			for _, d := range raw {
-				suppressed := allows.covers(a.Name, d.Pos)
-				for _, alt := range a.AltAllow {
-					suppressed = suppressed || allows.covers(alt, d.Pos)
-				}
-				if !suppressed {
-					diags = append(diags, d)
-				}
-			}
+// rawDiagnostics applies the analyzers to one package and returns the
+// findings before allow-directive suppression. The shared value-flow Program
+// is built lazily through *prog.
+func rawDiagnostics(pkgs []*Package, pkg *Package, analyzers []*Analyzer, scope Scope, prog **Program) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		if !scope(a, pkg.Path) {
+			continue
 		}
+		if a.NeedsProgram && *prog == nil {
+			*prog = BuildProgram(pkgs)
+		}
+		var got []Diagnostic
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Prog:     *prog,
+			LintPkg:  pkg,
+			diags:    &got,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+		raw = append(raw, got...)
 	}
+	return raw, nil
+}
+
+// sortDiags orders diagnostics by position, then analyzer name.
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -210,7 +257,178 @@ func Run(pkgs []*Package, analyzers []*Analyzer, scope Scope) ([]Diagnostic, err
 		}
 		return a.Analyzer < b.Analyzer
 	})
+}
+
+// Run applies the analyzers to the packages under the scope policy, filters
+// suppressed findings, and returns the rest ordered by position. The
+// whole-module value-flow Program is built once, lazily, and shared by every
+// analyzer that requests it.
+func Run(pkgs []*Package, analyzers []*Analyzer, scope Scope) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	var prog *Program
+	for _, pkg := range pkgs {
+		raw, err := rawDiagnostics(pkgs, pkg, analyzers, scope, &prog)
+		if err != nil {
+			return nil, err
+		}
+		allows := collectAllows(pkg)
+		for _, d := range raw {
+			a, _ := ByName(d.Analyzer)
+			suppressed := allows.covers(d.Analyzer, d.Pos)
+			if a != nil {
+				for _, alt := range a.AltAllow {
+					suppressed = suppressed || allows.covers(alt, d.Pos)
+				}
+			}
+			if !suppressed {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sortDiags(diags)
 	return diags, nil
+}
+
+// AllowDirective is one parsed //lint:allow comment, justified or not.
+type AllowDirective struct {
+	Pos           token.Position
+	Names         []string // analyzer names the directive targets
+	Justification string
+}
+
+// AuditFinding is one allow-audit result: a directive that should be removed
+// (stale — the finding it suppressed no longer fires) or repaired (missing
+// the mandatory justification, or naming an unknown analyzer).
+type AuditFinding struct {
+	Directive AllowDirective
+	// Kind is "stale", "unjustified", or "unknown-analyzer".
+	Kind string
+	// Name is the specific analyzer name within the directive the finding is
+	// about (stale and unknown-analyzer findings are per-name).
+	Name string
+}
+
+// String formats the audit finding the way compilers do.
+func (f AuditFinding) String() string {
+	p := f.Directive.Pos
+	switch f.Kind {
+	case "unjustified":
+		return fmt.Sprintf("%s:%d: //lint:allow %s has no justification (the directive is ignored; add a reason or delete it)",
+			p.Filename, p.Line, strings.Join(f.Directive.Names, ","))
+	case "unknown-analyzer":
+		return fmt.Sprintf("%s:%d: //lint:allow names unknown analyzer %q", p.Filename, p.Line, f.Name)
+	default:
+		return fmt.Sprintf("%s:%d: stale //lint:allow %s: no %s finding fires here anymore; remove the guard",
+			p.Filename, p.Line, f.Name, f.Name)
+	}
+}
+
+// AuditAllows re-runs the analyzers without suppression and reports every
+// allow directive that no longer earns its keep: stale guards (the named
+// analyzer produces no finding on the guarded lines), guards missing the
+// mandatory justification, and guards naming analyzers that do not exist. A
+// directive at line L covers findings at L and L+1, so a guard is live if a
+// raw finding of an accepted name lands on either line.
+func AuditAllows(pkgs []*Package, analyzers []*Analyzer, scope Scope) ([]AuditFinding, error) {
+	// acceptedAs maps each allow-directive name to the analyzer names whose
+	// findings it suppresses (itself, plus analyzers listing it in AltAllow).
+	// Liveness is judged only against the analyzers actually being run;
+	// spelling validity is judged against the full registry, so auditing a
+	// -only subset neither flags real-but-unselected names as unknown nor
+	// declares their guards stale.
+	acceptedAs := make(map[string]map[string]bool)
+	selected := make(map[string]bool)
+	for _, a := range analyzers {
+		selected[a.Name] = true
+		if acceptedAs[a.Name] == nil {
+			acceptedAs[a.Name] = make(map[string]bool)
+		}
+		acceptedAs[a.Name][a.Name] = true
+		for _, alt := range a.AltAllow {
+			if acceptedAs[alt] == nil {
+				acceptedAs[alt] = make(map[string]bool)
+			}
+			acceptedAs[alt][a.Name] = true
+			selected[alt] = true
+		}
+	}
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+		for _, alt := range a.AltAllow {
+			known[alt] = true
+		}
+	}
+
+	var out []AuditFinding
+	var prog *Program
+	for _, pkg := range pkgs {
+		// A package no selected analyzer covers contributes no raw findings,
+		// so judging its guards would report every one of them stale. The
+		// whole module stays loaded for the value-flow graph; only packages
+		// inside the requested scope are audited.
+		inScope := false
+		for _, a := range analyzers {
+			if scope(a, pkg.Path) {
+				inScope = true
+				break
+			}
+		}
+		if !inScope {
+			continue
+		}
+		raw, err := rawDiagnostics(pkgs, pkg, analyzers, scope, &prog)
+		if err != nil {
+			return nil, err
+		}
+		// live[analyzer][file:line] marks directive lines a raw finding keeps
+		// alive (the finding's own line and the line above it).
+		live := make(map[string]map[allowKey]bool)
+		for _, d := range raw {
+			m := live[d.Analyzer]
+			if m == nil {
+				m = make(map[allowKey]bool)
+				live[d.Analyzer] = m
+			}
+			m[allowKey{d.Analyzer, d.Pos.Filename, d.Pos.Line}] = true
+			m[allowKey{d.Analyzer, d.Pos.Filename, d.Pos.Line - 1}] = true
+		}
+		for _, dir := range collectAllowDirectives(pkg) {
+			if strings.TrimSpace(dir.Justification) == "" {
+				out = append(out, AuditFinding{Directive: dir, Kind: "unjustified"})
+				continue
+			}
+			for _, name := range dir.Names {
+				if !known[name] {
+					out = append(out, AuditFinding{Directive: dir, Kind: "unknown-analyzer", Name: name})
+					continue
+				}
+				if !selected[name] {
+					continue // registered analyzer, not in this run: liveness unknowable
+				}
+				alive := false
+				for analyzer := range acceptedAs[name] { // tiny set; result order-free
+					if live[analyzer][allowKey{analyzer, dir.Pos.Filename, dir.Pos.Line}] {
+						alive = true
+					}
+				}
+				if !alive {
+					out = append(out, AuditFinding{Directive: dir, Kind: "stale", Name: name})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Directive.Pos.Filename != b.Directive.Pos.Filename {
+			return a.Directive.Pos.Filename < b.Directive.Pos.Filename
+		}
+		if a.Directive.Pos.Line != b.Directive.Pos.Line {
+			return a.Directive.Pos.Line < b.Directive.Pos.Line
+		}
+		return a.Name < b.Name
+	})
+	return out, nil
 }
 
 // allowKey identifies one suppressed (analyzer, file, line).
@@ -227,12 +445,11 @@ func (s allowSet) covers(analyzer string, pos token.Position) bool {
 	return s[allowKey{analyzer, pos.Filename, pos.Line}]
 }
 
-// collectAllows parses //lint:allow directives. A directive suppresses the
-// named analyzers on its own line and on the following line, so it can ride
-// at the end of the offending line or stand alone above it. Directives
-// without a justification are ignored.
-func collectAllows(pkg *Package) allowSet {
-	s := make(allowSet)
+// collectAllowDirectives parses every //lint:allow comment in the package,
+// including unjustified ones (Run ignores those; the allow audit reports
+// them).
+func collectAllowDirectives(pkg *Package) []AllowDirective {
+	var out []AllowDirective
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -241,19 +458,37 @@ func collectAllows(pkg *Package) allowSet {
 					continue
 				}
 				names, justification, _ := strings.Cut(strings.TrimSpace(text), " ")
-				if strings.TrimSpace(justification) == "" {
-					continue // a bare directive documents nothing; not honored
+				dir := AllowDirective{
+					Pos:           pkg.Fset.Position(c.Pos()),
+					Justification: strings.TrimSpace(justification),
 				}
-				pos := pkg.Fset.Position(c.Pos())
 				for _, name := range strings.Split(names, ",") {
-					name = strings.TrimSpace(name)
-					if name == "" {
-						continue
+					if name = strings.TrimSpace(name); name != "" {
+						dir.Names = append(dir.Names, name)
 					}
-					s[allowKey{name, pos.Filename, pos.Line}] = true
-					s[allowKey{name, pos.Filename, pos.Line + 1}] = true
+				}
+				if len(dir.Names) > 0 {
+					out = append(out, dir)
 				}
 			}
+		}
+	}
+	return out
+}
+
+// collectAllows indexes the justified allow directives for suppression. A
+// directive suppresses the named analyzers on its own line and on the
+// following line, so it can ride at the end of the offending line or stand
+// alone above it. Directives without a justification are ignored.
+func collectAllows(pkg *Package) allowSet {
+	s := make(allowSet)
+	for _, dir := range collectAllowDirectives(pkg) {
+		if dir.Justification == "" {
+			continue // a bare directive documents nothing; not honored
+		}
+		for _, name := range dir.Names {
+			s[allowKey{name, dir.Pos.Filename, dir.Pos.Line}] = true
+			s[allowKey{name, dir.Pos.Filename, dir.Pos.Line + 1}] = true
 		}
 	}
 	return s

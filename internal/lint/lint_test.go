@@ -53,6 +53,24 @@ func TestWaitGroup(t *testing.T) {
 	linttest.Run(t, testdata, lint.WaitGroup, "waitgroup")
 }
 
+func TestAddrSpace(t *testing.T) {
+	linttest.Run(t, testdata, lint.AddrSpace, "addrspace")
+}
+
+// TestAddrSpaceInference runs the annotation-inference half on the geom
+// fixture: inference only fires inside the address-domain packages.
+func TestAddrSpaceInference(t *testing.T) {
+	linttest.Run(t, testdata, lint.AddrSpace, "geom")
+}
+
+func TestUnitFlow(t *testing.T) {
+	linttest.Run(t, testdata, lint.UnitFlow, "unitflow")
+}
+
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, testdata, lint.HotAlloc, "hotalloc")
+}
+
 // TestDefaultScope pins the repository policy: which analyzers gate which
 // package families.
 func TestDefaultScope(t *testing.T) {
@@ -94,6 +112,14 @@ func TestDefaultScope(t *testing.T) {
 		{"goroutineleak", "rubix/examples/quickstart", true},
 		{"waitgroup", "rubix/internal/sim", true},
 		{"waitgroup", "rubix/internal/lint", true},
+		{"addrspace", "rubix/internal/mapping", true},
+		{"addrspace", "rubix/internal/memctrl", true},
+		{"addrspace", "rubix/internal/lint", false},
+		{"addrspace", "rubix/cmd/rubixsim", false},
+		{"unitflow", "rubix/internal/dram", true},
+		{"unitflow", "rubix/internal/lint/linttest", false},
+		{"hotalloc", "rubix/internal/memctrl", true},
+		{"hotalloc", "rubix/examples/quickstart", false},
 	}
 	for _, c := range cases {
 		a := byName[c.analyzer]

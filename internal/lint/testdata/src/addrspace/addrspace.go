@@ -1,0 +1,83 @@
+// Package addrspace exercises the address-domain discipline: tracked
+// integers live in exactly one of line/phys/row/cipher and may only change
+// domain through a declared converter. Domain sources are the mapping/geom
+// fixtures' pinned signatures and the `// addr:` annotation below.
+package addrspace
+
+import (
+	"geom"
+	"mapping"
+)
+
+// current tracks the open row of the fixture's bank.
+var current uint64 // addr: row
+
+// DoubleMap is the classic positive: a mapped (phys) value fed back into
+// Map is double randomization.
+func DoubleMap(m mapping.Mapper, line uint64) uint64 {
+	return m.Map(m.Map(line)) // want "phys value passed to line parameter \"line\" of Map without conversion"
+}
+
+// RowIntoUnmap is the cross-converter positive: GlobalRow produces a row
+// coordinate, not the physical line Unmap expects.
+func RowIntoUnmap(m mapping.Mapper, p uint64) uint64 {
+	return m.Unmap(geom.GlobalRow(p)) // want "row value passed to phys parameter \"phys\" of Unmap without conversion"
+}
+
+// RoundTrip is the clean negative: line → phys → line through the declared
+// converters.
+func RoundTrip(m mapping.Mapper, line uint64) uint64 {
+	return m.Unmap(m.Map(line))
+}
+
+// Mixed is the mixed-domain positive: v is phys on one path and line on the
+// other, so no single conversion can be right.
+func Mixed(m mapping.Mapper, a uint64, cond bool) uint64 {
+	v := m.Map(a)
+	if cond {
+		v = m.Unmap(m.Map(a))
+	}
+	return m.Map(v) // want "mixed-domain value \(line\|phys\) passed to line parameter"
+}
+
+// launder forwards its argument; the domain follows the flow.
+func launder(v uint64) uint64 { return v }
+
+// Interproc is the interprocedural positive: the phys domain survives the
+// helper call.
+func Interproc(m mapping.Mapper, a uint64) uint64 {
+	p := launder(m.Map(a))
+	return m.Map(p) // want "phys value passed to line parameter \"line\" of Map without conversion"
+}
+
+// Batch is the out-slice positive: MapBatch fills phys with phys-domain
+// values, so feeding that buffer back into the line slot is double mapping.
+func Batch(s mapping.Sequential, lines, phys []uint64) {
+	s.MapBatch(lines, phys)
+	s.MapBatch(phys, phys) // want "phys value passed to line parameter \"lines\" of MapBatch without conversion"
+}
+
+// StoreRow is the clean pinned-write negative: a row stored into the
+// row-annotated variable.
+func StoreRow(p uint64) {
+	current = geom.GlobalRow(p)
+}
+
+// StorePhys is the pinned-write positive: an untranslated phys line stored
+// into row-keyed state.
+func StorePhys(m mapping.Mapper, a uint64) {
+	current = m.Map(a) // want "phys value assigned to row-pinned \"current\""
+}
+
+// Allowed is the annotated negative: a justified guard suppresses the
+// double-mapping finding.
+func Allowed(m mapping.Mapper, line uint64) uint64 {
+	//lint:allow addrspace fixture: deliberate double scramble models a two-level mapper
+	return m.Map(m.Map(line))
+}
+
+// Untracked is the clean negative: values with no known domain are not
+// bound by the discipline.
+func Untracked(m mapping.Mapper, x uint64) uint64 {
+	return m.Map(x ^ 0xdead)
+}

@@ -1,0 +1,21 @@
+// Package geom is a miniature of the real address-geometry package: its
+// codec signatures pin the phys→row conversion, and its row-keyed struct
+// exercises the addrspace annotation inference.
+package geom
+
+// GlobalRow extracts the global row coordinate of a physical line.
+func GlobalRow(phys uint64) uint64 { return phys >> 3 }
+
+// Encode rebuilds a physical line from a row coordinate and a slot.
+func Encode(row, slot uint64) uint64 { return row<<3 | slot }
+
+// Frame is row-keyed state whose field domain is inferred from its writes:
+// it is only ever written with GlobalRow results.
+type Frame struct {
+	row uint64 // want "consistently carries row"
+}
+
+// Note records the frame's current row.
+func Note(f *Frame, phys uint64) {
+	f.row = GlobalRow(phys)
+}

@@ -1,0 +1,124 @@
+// Package hotalloc exercises the static allocation gate: a `// hot`
+// function and everything it reaches through the call graph (interface
+// dispatch included) must not allocate; `// cold` stops traversal.
+package hotalloc
+
+// Table is preallocated state the hot path may use freely.
+type Table struct {
+	slots []uint64
+	n     int
+}
+
+// Sink is the dispatch interface: gating a hot caller gates every loaded
+// implementation.
+type Sink interface {
+	Put(v uint64)
+}
+
+// Counter implements Sink without allocating.
+type Counter struct{ total uint64 }
+
+// Put implements Sink.
+func (c *Counter) Put(v uint64) { c.total += v }
+
+// Logger implements Sink with an allocation on every call.
+type Logger struct{ lines []uint64 }
+
+// Put implements Sink by remembering each value.
+func (l *Logger) Put(v uint64) {
+	l.lines = append(l.lines, v) // want "append growth in function hotalloc.Logger.Put reachable from // hot hotalloc.Drain"
+}
+
+// Step is the direct positive: a make on the measured path.
+//
+// hot: one call per simulated access.
+func Step(t *Table, n int) {
+	t.slots = make([]uint64, n) // want "make allocation in // hot function hotalloc.Step"
+	record(t, uint64(n))
+}
+
+// record is the interprocedural positive: reached from Step without its own
+// annotation.
+func record(t *Table, v uint64) {
+	t.slots = append(t.slots, v) // want "append growth in function hotalloc.record reachable from // hot hotalloc.Step"
+}
+
+// Dispatch is the closure positive.
+//
+// hot
+func Dispatch(t *Table) func() {
+	return func() { t.n++ } // want "closure allocation \(func literal\) in // hot function hotalloc.Dispatch"
+}
+
+// Box is the pointer-literal positive.
+//
+// hot
+func Box() *Table {
+	return &Table{} // want "heap allocation \(&composite literal\) in // hot function hotalloc.Box"
+}
+
+// observe boxes its argument into the empty interface.
+func observe(v any) {}
+
+// Feed is the interface-escape positive: a concrete uint64 boxed at the
+// call site.
+//
+// hot
+func Feed(x uint64) {
+	observe(x) // want "interface escape \(boxing uint64\) in // hot function hotalloc.Feed"
+}
+
+// Drain is the dynamic-dispatch root: the Sink call resolves to every
+// loaded implementation, so Logger.Put above is gated while Counter.Put
+// stays clean.
+//
+// hot
+func Drain(s Sink, vs []uint64) {
+	for _, v := range vs {
+		s.Put(v)
+	}
+}
+
+// grow doubles the table; amortized growth is declared off the hot path.
+//
+// cold
+func grow(t *Table) {
+	t.slots = append(t.slots, 0)
+}
+
+// Record is the cold negative: the only allocation it reaches sits behind a
+// `// cold` boundary.
+//
+// hot
+func Record(t *Table) {
+	if t.n == len(t.slots) {
+		grow(t)
+	}
+	t.slots[t.n&(len(t.slots)-1)]++
+	t.n++
+}
+
+// validate reports whether the value is admissible; boxing into an
+// error-returning callee is exempt (the error path is cold by convention).
+func validate(v any) error { return nil }
+
+// Check is the error-path negative.
+//
+// hot
+func Check(x uint64) error {
+	return validate(x)
+}
+
+// Scratch is the annotated negative: a justified allocation.
+//
+// hot
+func Scratch(n int) []uint64 {
+	//lint:allow hotalloc fixture: the scratch buffer is grown once at startup
+	return make([]uint64, n)
+}
+
+// Idle is the unannotated negative: allocations outside the hot-reachable
+// region are not this analyzer's business.
+func Idle(n int) []uint64 {
+	return make([]uint64, n)
+}

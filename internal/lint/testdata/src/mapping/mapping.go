@@ -6,7 +6,7 @@ package mapping
 // Mapper maps line addresses.
 type Mapper interface {
 	Map(line uint64) uint64
-	Unmap(row uint64) uint64
+	Unmap(phys uint64) uint64
 }
 
 // Sequential is the identity mapping.
@@ -15,8 +15,8 @@ type Sequential struct{}
 // Map returns the line unchanged.
 func (Sequential) Map(line uint64) uint64 { return line }
 
-// Unmap returns the row unchanged.
-func (Sequential) Unmap(row uint64) uint64 { return row }
+// Unmap returns the physical line unchanged.
+func (Sequential) Unmap(phys uint64) uint64 { return phys }
 
 // MapBatch is the batched surface stub: element writes into phys taint the
 // caller-visible container the way the real adapters do.

@@ -1,0 +1,78 @@
+// Package unitflow exercises the time-unit discipline: ns/cycle/refresh
+// quantities must not meet in additive arithmetic or comparisons without an
+// explicit multiplicative conversion. Seeds come from the `// unit:`
+// annotations below and the dram fixture's Timing ground truth.
+package unitflow
+
+import "dram"
+
+// clock is the simulation clock.
+var clock float64 // unit: ns
+
+// elapsed counts DRAM cycles.
+var elapsed float64 // unit: cycle
+
+// windows counts refresh windows.
+var windows uint64 // unit: refresh
+
+// Mix is the direct positive: cycles added to nanoseconds.
+func Mix() float64 {
+	return clock + elapsed // want "operands of \"\+\" mix units \(ns vs cycle\)"
+}
+
+// Compare is the comparison positive: ordering ns against a cycle count.
+func Compare() bool {
+	return clock < elapsed // want "operands of \"<\" mix units \(ns vs cycle\)"
+}
+
+// Accumulate is the compound-assignment positive: += is the same bug as +.
+func Accumulate(t dram.Timing) float64 {
+	total := t.TRCD
+	total += elapsed // want "compound assignment \"\+=\" mixes units .*cycle"
+	return total
+}
+
+// Budget is the cross-package positive: a Timing field (ns by the dram
+// ground truth) compared against a refresh-window count.
+func Budget(t dram.Timing) bool {
+	return t.TRP > float64(windows) // want "operands of \">\" mix units \(ns vs refresh\)"
+}
+
+// Retag is the foreign-write positive: a cycle count stored into the
+// ns-pinned clock.
+func Retag() {
+	clock = elapsed // want "cycle value assigned to ns-pinned \"clock\""
+}
+
+// Convert is the conversion negative: multiplying by the rate is the
+// declared conversion idiom, so the sum is clean.
+func Convert(nsPerCycle float64) float64 {
+	return clock + elapsed*nsPerCycle
+}
+
+// ConvertAssign is the conversion negative for compound assignment.
+func ConvertAssign(nsPerCycle float64) float64 {
+	total := clock
+	total += elapsed * nsPerCycle
+	return total
+}
+
+// deadline derives a ns deadline from the clock.
+func deadline(slack float64) float64 { return clock + slack }
+
+// Interproc is the interprocedural positive: the helper's ns result meets a
+// cycle count one call away.
+func Interproc() bool {
+	return deadline(5) > elapsed // want "operands of \">\" mix units \(ns vs cycle\)"
+}
+
+// SameUnit is the clean negative: both operands are nanoseconds.
+func SameUnit(t dram.Timing) float64 {
+	return clock + t.TRCD + t.TRP
+}
+
+// Allowed is the annotated negative.
+func Allowed() float64 {
+	//lint:allow unitflow fixture: the cycle count is dimensionless in this reduction
+	return clock + elapsed
+}

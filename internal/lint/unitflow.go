@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// UnitFlow runs the domain lattice over time units instead of address
+// spaces: nanoseconds (the simulator's float64 clock), DRAM/CPU cycles, and
+// refresh-window counts. Seeds come from dram/memctrl timing declarations
+// (Timing struct fields and *Ns-suffixed names), the simulation clock
+// vocabulary (now/arrival/earliest/deadline), time.Duration-typed
+// declarations (a Duration's native unit is the nanosecond), and `// unit:`
+// annotations. The analyzer flags additive arithmetic and comparisons whose
+// operands carry different units — exactly the ns-vs-cycle and
+// lost-refresh-accounting class of bug PR 4 fixed by hand (tRP charged on
+// every ACT, tWR dropped on refresh catch-up) — and writes into `// unit:`
+// pinned declarations from a foreign unit. Multiplication and division are
+// exempt: they are how unit conversions are written (cycles × ns/cycle), so
+// an explicit conversion clears the finding.
+var UnitFlow = &Analyzer{
+	Name: "unitflow",
+	Doc: "time quantities must not mix units (ns/cycle/refresh) in additive " +
+		"arithmetic or comparisons without an explicit multiplicative " +
+		"conversion or `// unit:` boundary annotation",
+	NeedsProgram: true,
+	Run:          runUnitFlow,
+}
+
+// mixableUnitOps are the operators where operand units must agree: additive
+// arithmetic and ordering/equality. MUL/QUO/SHL/SHR are the conversion
+// idiom; bitwise ops on times do not occur.
+var mixableUnitOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.LSS: true, token.GTR: true, token.LEQ: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+}
+
+// unitConverted reports whether e is an explicit multiplicative conversion
+// (the cycles × ns/cycle idiom). The flow graph conservatively carries both
+// operands' taint through a product, but a multiply or divide is exactly how
+// a unit change is written, so the converted value's declared unit is
+// whatever the author converted to — the operand units are not held against
+// it at unit sinks.
+func unitConverted(e ast.Expr) bool {
+	b, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	return ok && (b.Op == token.MUL || b.Op == token.QUO)
+}
+
+func runUnitFlow(pass *Pass) error {
+	prog := pass.Prog
+	facts := prog.domains()
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkUnitMix(pass, facts, n)
+			case *ast.AssignStmt:
+				checkAssignDomains(pass, facts, n, unitFamily)
+				checkOpAssignUnits(pass, facts, n)
+			case *ast.CallExpr:
+				checkCallDomains(pass, facts, n, unitFamily)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkUnitMix flags additive/comparison expressions whose two operands
+// carry known, different units.
+func checkUnitMix(pass *Pass, facts *domainFacts, x *ast.BinaryExpr) {
+	if !mixableUnitOps[x.Op] {
+		return
+	}
+	if unitConverted(x.X) || unitConverted(x.Y) {
+		return // an explicit conversion fixes the expression's unit
+	}
+	prog := pass.Prog
+	uL, hL := prog.domainsOf(pass.LintPkg, x.X, unitFamily)
+	if uL == 0 {
+		return
+	}
+	uR, hR := prog.domainsOf(pass.LintPkg, x.Y, unitFamily)
+	if uR == 0 {
+		return
+	}
+	combined := uL.join(uR)
+	if combined.single() {
+		return // same unit on both sides
+	}
+	for d, h := range hR { // merge for the message; rendered in lattice order
+		if _, ok := hL[d]; !ok {
+			hL[d] = h
+		}
+	}
+	pass.Report(x.OpPos, fmt.Sprintf(
+		"operands of %q mix units (%s vs %s): %s; insert an explicit conversion "+
+			"(multiply/divide by the rate) or annotate //lint:allow unitflow <why>",
+		x.Op, uL, uR, describeHits(hL)))
+}
+
+// checkOpAssignUnits extends the mix check to compound assignment: now +=
+// cycles is the same bug as now + cycles.
+func checkOpAssignUnits(pass *Pass, facts *domainFacts, n *ast.AssignStmt) {
+	switch n.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+	default:
+		return
+	}
+	if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+		return
+	}
+	if unitConverted(n.Rhs[0]) {
+		return // an explicit conversion fixes the added value's unit
+	}
+	prog := pass.Prog
+	uL, hL := prog.domainsOf(pass.LintPkg, n.Lhs[0], unitFamily)
+	// A pinned target contributes its declared unit even though pinned nodes
+	// carry no propagated taint.
+	ev := &evaluator{prog: prog, pkg: pass.LintPkg}
+	if target := ev.lvalueNode(n.Lhs[0]); target != (node{}) {
+		if want, ok := facts.pins[target]; ok && want.family(unitFamily) != 0 {
+			uL = uL.join(want.family(unitFamily))
+			if _, seen := hL[want.family(unitFamily)]; !seen {
+				if hL == nil {
+					hL = make(map[domain]Hit)
+				}
+				hL[want.family(unitFamily)] = Hit{Pos: facts.pinPos[target], What: "pinned declaration"}
+			}
+		}
+	}
+	if uL == 0 {
+		return
+	}
+	uR, hR := prog.domainsOf(pass.LintPkg, n.Rhs[0], unitFamily)
+	if uR == 0 {
+		return
+	}
+	if uL.join(uR).single() {
+		return
+	}
+	for d, h := range hR { // merge for the message; rendered in lattice order
+		if _, ok := hL[d]; !ok {
+			hL[d] = h
+		}
+	}
+	pass.Report(n.TokPos, fmt.Sprintf(
+		"compound assignment %q mixes units (%s vs %s): %s; insert an explicit "+
+			"conversion or annotate //lint:allow unitflow <why>",
+		n.Tok, uL, uR, describeHits(hL)))
+}

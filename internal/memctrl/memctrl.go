@@ -111,11 +111,15 @@ func (c *Controller) Access(line uint64, arrival float64) float64 {
 // re-translated, so every access observes exactly the mapping state it
 // would have seen issued one at a time (the paranoid-mode collision window
 // checks this across remap steps).
+//
+// hot: the PR 7 batched translation path; the phys scratch buffer is
+// reused across bursts and every reached MapBatch must stay loop-only.
 func (c *Controller) AccessBatch(lines []uint64, arrival float64) float64 {
 	if len(lines) == 0 {
 		return arrival
 	}
 	if cap(c.physBuf) < len(lines) {
+		//lint:allow hotalloc scratch-buffer growth is monotone and stops at the largest burst ever seen; steady state is allocation-free
 		c.physBuf = make([]uint64, len(lines))
 	}
 	phys := c.physBuf[:len(lines)]
@@ -163,6 +167,7 @@ func (c *Controller) accessMapped(line, phys uint64, arrival float64) float64 {
 	row := c.DRAM.Geom.GlobalRow(phys)
 	cur := c.Mit.TranslateRow(row)
 	if cur != row {
+		//lint:allow addrspace row→phys reassembly is GlobalRow's declared inverse: the migrated row id replaces the row bits, the slot within the row is preserved
 		phys = cur<<c.slotBits | phys&((1<<c.slotBits)-1)
 	}
 

@@ -246,6 +246,9 @@ func (r *Recorder) Hist(name string) *Hist {
 
 // Event offers one event to the trace ring. With tracing disabled
 // (TraceEvents == 0) or a nil Recorder this is a two-branch no-op.
+//
+// hot: called on every mitigation action and remap swap; the ring is
+// preallocated and overwritten in place.
 func (r *Recorder) Event(kind EventKind, at float64, row uint64) {
 	if r == nil || r.ringCap == 0 {
 		return

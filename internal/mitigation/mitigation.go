@@ -108,21 +108,24 @@ func (in *indirection) relocate(cur, dst uint64) {
 	}
 }
 
+// set records that orig's content currently lives at cur, dropping the
+// entries entirely when a row is back home.
+func (in *indirection) set(orig, cur uint64) {
+	if orig == cur {
+		delete(in.fwd, orig)
+	} else {
+		in.fwd[orig] = cur
+		in.rev[cur] = orig
+	}
+}
+
 // swap exchanges the contents of physical rows a and b.
 func (in *indirection) swap(a, b uint64) {
 	oa, ob := in.original(a), in.original(b)
 	delete(in.rev, a)
 	delete(in.rev, b)
-	set := func(orig, cur uint64) {
-		if orig == cur {
-			delete(in.fwd, orig)
-		} else {
-			in.fwd[orig] = cur
-			in.rev[cur] = orig
-		}
-	}
-	set(oa, b)
-	set(ob, a)
+	in.set(oa, b)
+	in.set(ob, a)
 }
 
 // --- AQUA ---------------------------------------------------------------------

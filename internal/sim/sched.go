@@ -22,6 +22,8 @@ type coreHeap struct {
 // newCoreHeap builds a heap over the not-yet-done cores. Establishing the
 // heap by repeated sift-down is O(n) and allocation-free beyond the one
 // index slice.
+//
+// cold: one-time setup; the per-step loop only sifts in place.
 func newCoreHeap(cores []*cpu.Core) *coreHeap {
 	h := &coreHeap{cores: make([]*cpu.Core, 0, len(cores))}
 	for _, c := range cores {
@@ -81,6 +83,9 @@ func (h *coreHeap) popMin() {
 // core step hands its whole MLP burst to the controller as one batch
 // (cpu.StepBatch), which is where the batched translation path pays off;
 // wrap scalar access functions with cpu.Serial.
+//
+// hot: the simulation main loop; every per-step allocation multiplies by
+// the instruction budget.
 func runCores(cores []*cpu.Core, access cpu.BatchAccessFunc) {
 	h := newCoreHeap(cores)
 	for len(h.cores) > 0 {

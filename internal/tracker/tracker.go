@@ -173,7 +173,7 @@ type PerRow struct {
 // from the tracker's current epoch, so Reset (epoch++) frees every slot at
 // once without touching memory.
 type perRowSlot struct {
-	row   uint64
+	row   uint64 // addr: row
 	epoch uint32
 	count uint32
 }
@@ -233,6 +233,9 @@ func (t *PerRow) slot(row uint64) *perRowSlot {
 
 // grow doubles the table and reinserts only the current epoch's live
 // entries.
+//
+// cold: geometric growth amortizes to zero allocations per recorded ACT
+// once the table covers the window's working set.
 func (t *PerRow) grow() {
 	old := t.slots
 	t.slots = make([]perRowSlot, 2*len(old))
