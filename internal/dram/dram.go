@@ -15,6 +15,7 @@ package dram
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"rubix/internal/check"
 	"rubix/internal/geom"
@@ -191,6 +192,18 @@ type Module struct {
 	banks   []bankState
 	busFree []float64 // per channel
 
+	// Float accounting is accumulated per channel and folded into Stats in
+	// ascending channel order (drainChannels). Floating-point addition is
+	// not associative, so a single global accumulator would make the
+	// sharded simulator's merged totals differ from the serial path in the
+	// last bits; per-channel accumulation gives both paths the identical
+	// addition sequence (DESIGN.md §14).
+	waitBank  []float64 // unit: ns; per channel
+	waitLease []float64 // unit: ns; per channel
+	prep      []float64 // unit: ns; per channel
+	waitBus   []float64 // unit: ns; per channel
+	latHist   []stats.Histogram // per channel; only when Config.LatencyHist
+
 	// Accounting.
 	trh        int // Rowhammer threshold for the watchdog (0 disables)
 	lineCensus bool
@@ -236,6 +249,13 @@ func New(cfg Config) *Module {
 		lineCensus: cfg.LineCensus,
 		census:     newFlatCensus(cfg.LineCensus),
 		windowEnd:  cfg.Timing.RefreshWindow,
+	}
+	m.waitBank = make([]float64, cfg.Geometry.Channels)
+	m.waitLease = make([]float64, cfg.Geometry.Channels)
+	m.prep = make([]float64, cfg.Geometry.Channels)
+	m.waitBus = make([]float64, cfg.Geometry.Channels)
+	if cfg.LatencyHist {
+		m.latHist = make([]stats.Histogram, cfg.Geometry.Channels)
 	}
 	// A 250M-instruction run spans a handful of refresh windows; reserving
 	// them up front keeps Windows appends off the steady-state ACT path.
@@ -304,11 +324,11 @@ func (m *Module) AccessRW(phys uint64, earliest float64, write bool) AccessResul
 	if bank.openRow == int64(row) {
 		res.RowHit = true
 		casReady = max(earliest, bank.readyAt)
-		m.stats.WaitBankNs += casReady - earliest
+		m.waitBank[ch] += casReady - earliest
 		m.mHits.Inc()
 	} else {
 		start := max(earliest, bank.readyAt)
-		m.stats.WaitBankNs += start - earliest
+		m.waitBank[ch] += start - earliest
 		m.mMisses.Inc()
 		conflict := bank.openRow >= 0
 		if conflict {
@@ -317,7 +337,7 @@ func (m *Module) AccessRW(phys uint64, earliest float64, write bool) AccessResul
 			// Row-hit-first: wait out the open row's lease, then precharge
 			// (after write recovery if the row was written).
 			leased := max(start, bank.leaseUntil)
-			m.stats.WaitLeaseNs += leased - start
+			m.waitLease[ch] += leased - start
 			start = leased + m.Timing.TRP
 			if bank.wrote {
 				start += m.Timing.TWR
@@ -333,7 +353,7 @@ func (m *Module) AccessRW(phys uint64, earliest float64, write bool) AccessResul
 		if conflict {
 			prep += m.Timing.TRP
 		}
-		m.stats.PrepNs += prep
+		m.prep[ch] += prep
 		bank.lastActStart = actStart
 		bank.openRow = int64(row)
 		bank.openAccesses = 0
@@ -346,7 +366,7 @@ func (m *Module) AccessRW(phys uint64, earliest float64, write bool) AccessResul
 	}
 
 	busStart := max(casReady, m.busFree[ch])
-	m.stats.WaitBusNs += busStart - casReady
+	m.waitBus[ch] += busStart - casReady
 	res.Completion = busStart + m.Timing.TCL
 	m.busFree[ch] = busStart + m.Timing.TBurst
 	// The bank is occupied by the column command itself (tCCD ≈ tBurst);
@@ -376,8 +396,8 @@ func (m *Module) AccessRW(phys uint64, earliest float64, write bool) AccessResul
 	if res.RowHit {
 		m.stats.RowHits++
 	}
-	if m.stats.Latency != nil {
-		m.stats.Latency.Add(res.Completion - earliest)
+	if m.latHist != nil {
+		m.latHist[ch].Add(res.Completion - earliest)
 	}
 	return res
 }
@@ -494,15 +514,134 @@ func (m *Module) finalizeWindow() {
 	m.census.reset()
 }
 
+// drainChannels folds the per-channel float accumulators into the Stats
+// fields in ascending channel order and zeroes the accumulators, so the
+// fold is idempotent and Stats/Finalize may both call it (and mid-run
+// Stats() reads still see cumulative totals).
+//
+// cold: runs at stats-read time, never on the access path.
+func (m *Module) drainChannels() {
+	for ch := range m.waitBank {
+		m.stats.WaitBankNs += m.waitBank[ch]
+		m.stats.WaitLeaseNs += m.waitLease[ch]
+		m.stats.PrepNs += m.prep[ch]
+		m.stats.WaitBusNs += m.waitBus[ch]
+		m.waitBank[ch] = 0
+		m.waitLease[ch] = 0
+		m.prep[ch] = 0
+		m.waitBus[ch] = 0
+	}
+	if m.stats.Latency != nil {
+		for ch := range m.latHist {
+			m.stats.Latency.Merge(&m.latHist[ch])
+			m.latHist[ch] = stats.Histogram{}
+		}
+	}
+}
+
 // Finalize closes the last (partial) window and returns the run's stats.
 // The module must not be used after Finalize.
 func (m *Module) Finalize() *Stats {
 	m.finalizeWindow()
+	m.drainChannels()
 	return &m.stats
 }
 
 // Stats returns the running statistics without finalizing the last window.
-func (m *Module) Stats() *Stats { return &m.stats }
+func (m *Module) Stats() *Stats {
+	m.drainChannels()
+	return &m.stats
+}
+
+// FinalizeSharded finalizes a set of per-shard modules that together model
+// one memory system — shard i owns every channel ch with ch % len(mods) == i
+// — and merges their accounting into a single Stats byte-identical to what
+// one serial module covering all channels would report. Determinism rests on
+// fixed orders everywhere: integer fields are summed in shard order, windows
+// are merged by ascending start time, and the float latency decomposition is
+// folded in ascending *channel* order straight from the per-channel
+// accumulators, exactly the sequence the serial drainChannels performs. The
+// modules must not be used (including Stats/Finalize) after this call.
+//
+// cold: runs once at the end of a sharded run.
+func FinalizeSharded(mods []*Module) *Stats {
+	if len(mods) == 1 {
+		return mods[0].Finalize()
+	}
+	merged := &Stats{}
+	for _, m := range mods {
+		m.finalizeWindow()
+		merged.Accesses += m.stats.Accesses
+		merged.RowHits += m.stats.RowHits
+		merged.WriteCAS += m.stats.WriteCAS
+		merged.DemandActs += m.stats.DemandActs
+		merged.ExtraActs += m.stats.ExtraActs
+		merged.ExtraCAS += m.stats.ExtraCAS
+		if m.stats.currentStart > merged.currentStart {
+			merged.currentStart = m.stats.currentStart
+		}
+	}
+	merged.Windows = mergeWindows(mods)
+	// Every shard module spans the full geometry, so its accumulator arrays
+	// are indexed by global channel; a shard's entries for channels it does
+	// not own are exactly zero. Folding ascending by channel from each
+	// channel's owner is therefore the identical addition sequence the
+	// serial module's drainChannels performs over one flat channel array.
+	channels := len(mods[0].waitBank)
+	for ch := 0; ch < channels; ch++ {
+		m := mods[ch%len(mods)]
+		merged.WaitBankNs += m.waitBank[ch]
+		merged.WaitLeaseNs += m.waitLease[ch]
+		merged.PrepNs += m.prep[ch]
+		merged.WaitBusNs += m.waitBus[ch]
+	}
+	if mods[0].stats.Latency != nil {
+		merged.Latency = &stats.Histogram{}
+		for ch := 0; ch < channels; ch++ {
+			merged.Latency.Merge(&mods[ch%len(mods)].latHist[ch])
+		}
+	}
+	return merged
+}
+
+// mergeWindows unions the per-shard window lists by start time, summing the
+// per-window counters. Every shard's list begins with the start-0 window
+// (finalizeWindow always appends the first window even when empty), and a
+// shard only records a later window when it saw activations in it, so the
+// merged set of starts equals the serial module's: {0} ∪ {w > 0 : some
+// channel activated a row in w}.
+func mergeWindows(mods []*Module) []WindowStats {
+	byStart := make(map[float64]*WindowStats)
+	var starts []float64
+	for _, m := range mods {
+		for i := range m.stats.Windows {
+			w := &m.stats.Windows[i]
+			acc, ok := byStart[w.Start]
+			if !ok {
+				acc = &WindowStats{Start: w.Start}
+				byStart[w.Start] = acc
+				starts = append(starts, w.Start)
+			}
+			acc.UniqueRows += w.UniqueRows
+			acc.Hot64 += w.Hot64
+			acc.Hot512 += w.Hot512
+			acc.OverTRH += w.OverTRH
+			if w.MaxActs > acc.MaxActs {
+				acc.MaxActs = w.MaxActs
+			}
+			for b := range acc.LineBuckets {
+				acc.LineBuckets[b] += w.LineBuckets[b]
+			}
+			acc.LineSum += w.LineSum
+		}
+	}
+	sort.Float64s(starts)
+	out := make([]WindowStats, len(starts))
+	for i, s := range starts {
+		out[i] = *byStart[s]
+	}
+	return out
+}
 
 // String implements fmt.Stringer.
 func (m *Module) String() string {

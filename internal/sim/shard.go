@@ -1,0 +1,537 @@
+package sim
+
+// Channel-sharded simulation: one run is split across the geometry's memory
+// channels, each shard owning the DRAM banks, mitigation state, census, and
+// metrics/check ledgers of its channels, with a single-threaded producer
+// (the core event loop) translating every access and routing it to the
+// owning shard. The produced Result is byte-identical to the serial path —
+// DESIGN.md §14 lays out the determinism argument; TestShardedMatchesSerial
+// enforces it differentially.
+//
+// The rendezvous is the cores' MLP pending ring: a core may run at most
+// ring-depth bursts ahead of the shards, and it consumes a burst's
+// completion future at exactly the point the serial loop consumes the
+// float, so the producer's issue order — and therefore every shard's FIFO
+// message order — is byte-for-byte the serial heap-pop order.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"rubix/internal/check"
+	"rubix/internal/core"
+	"rubix/internal/cpu"
+	"rubix/internal/dram"
+	"rubix/internal/geom"
+	"rubix/internal/mapping"
+	"rubix/internal/memctrl"
+	"rubix/internal/metrics"
+	"rubix/internal/mitigation"
+	"rubix/internal/power"
+)
+
+// shardBurstCap is the number of accesses one shardMsg carries inline;
+// bursts larger than this (MLP > 16) are split into consecutive messages.
+const shardBurstCap = 16
+
+// shardQueueDepth bounds each shard's inbox. Deep enough that the producer
+// rarely blocks mid-sweep, small enough that a stalled shard applies
+// backpressure within a few thousand accesses.
+const shardQueueDepth = 256
+
+// shardMsg is one shard's slice of one core burst. It travels by value
+// through the shard's channel, so the steady-state routing path performs no
+// heap allocation.
+type shardMsg struct {
+	b       *burstState
+	arrival float64
+	n       int32
+	writes  uint32 // bitmask over the n items
+	lines   [shardBurstCap]uint64
+	phys    [shardBurstCap]uint64 // addr: phys
+}
+
+// burstState is the rendezvous for one core burst fanned out across shards.
+// Each shard folds its local max completion into comp[shard] (its own slot
+// — no two shards share one) and decrements remaining; the last decrementer
+// signals done. The producer is the only goroutine that calls Wait and the
+// only one that recycles, so the freelist needs no lock; the atomic
+// decrement chain plus the channel receive give the producer a
+// happens-before edge over every shard's comp write.
+type burstState struct {
+	router    *shardRouter
+	remaining atomic.Int32
+	done      chan struct{} // buffered 1, reusable across recycles
+	arrival   float64
+	comp      []float64 // per shard: local max completion
+
+	// Single-access (dynamic-mode) results, written by the worker only for
+	// n == 1 messages and read by the producer after the inline rendezvous.
+	activated bool
+	actStart  float64
+	finalPhys uint64 // addr: phys
+}
+
+// Wait implements cpu.Completion: block until every shard has retired its
+// slice, then fold the per-shard maxima. Max is exact and commutative over
+// floats, so the fold order cannot perturb the result. Producer-only.
+func (b *burstState) Wait() float64 {
+	<-b.done
+	v := b.arrival
+	for _, c := range b.comp {
+		if c > v {
+			v = c
+		}
+	}
+	//lint:allow hotalloc freelist growth is bounded by the in-flight burst count (cores × MLP ring depth) and amortizes to zero once the pool is warm
+	b.router.free = append(b.router.free, b)
+	return v
+}
+
+// resolved is an already-completed cpu.Completion, returned by the dynamic
+// (Rubix-D) routing path, which rendezvouses inline per access.
+type resolved float64
+
+// Wait returns the completion time immediately.
+func (v resolved) Wait() float64 { return float64(v) }
+
+// shardRouter is the producer-side routing layer: it owns the translation
+// front end (batch mapper, write marking, Rubix-D reactions — everything
+// that must stay in global issue order) and the per-shard inboxes.
+type shardRouter struct {
+	g      geom.Geometry
+	shards int
+	batch  mapping.BatchedMapper
+	dyn    memctrl.Dynamic // non-nil selects the synchronous per-access path
+
+	writeFrac  float64
+	writeAccum float64
+
+	in    []chan shardMsg
+	ctrls []*memctrl.Controller
+	mods  []*dram.Module
+	wg    sync.WaitGroup
+
+	free    []*burstState // producer-only recycle pool
+	physBuf []uint64
+	physArr [shardBurstCap]uint64
+
+	// Rubix-D swap charging (producer-side, shards idle by construction).
+	timing     dram.Timing
+	rec        *metrics.Recorder // parent recorder
+	mRemapSwap *metrics.Counter
+	remapSwaps uint64
+}
+
+// shardOf returns the shard owning a physical line: channels are assigned
+// round-robin, ch mod shards, which for power-of-two shard counts is the
+// channel's low bits.
+func (r *shardRouter) shardOf(phys uint64) int {
+	return r.g.ChannelOf(r.g.GlobalRow(phys)) & (r.shards - 1)
+}
+
+// worker drains one shard's inbox: every message's accesses run through the
+// shard's own controller (mitigation grant, DRAM timing, census, checker)
+// in the exact order the producer issued them.
+//
+// hot: the sharded simulation main loop; one iteration per routed message.
+func (r *shardRouter) worker(sid int) {
+	defer r.wg.Done()
+	ctrl := r.ctrls[sid]
+	for m := range r.in[sid] {
+		localMax := m.arrival
+		var last memctrl.RoutedResult
+		for i := int32(0); i < m.n; i++ {
+			res := ctrl.AccessPretranslated(m.lines[i], m.phys[i], m.arrival, m.writes&(1<<uint(i)) != 0)
+			if res.Completion > localMax {
+				localMax = res.Completion
+			}
+			last = res
+		}
+		b := m.b
+		if localMax > b.comp[sid] {
+			b.comp[sid] = localMax
+		}
+		// On the dynamic path every message is a whole single-access burst,
+		// so the writer is unique; on the static path a burst can split
+		// into n==1 messages on several shards, which must not all write
+		// the shared result slots.
+		if r.dyn != nil {
+			b.activated = last.Activated
+			b.actStart = last.ActStart
+			b.finalPhys = last.FinalPhys
+		}
+		if b.remaining.Add(-1) == 0 {
+			b.done <- struct{}{}
+		}
+	}
+}
+
+// getBurst returns a clean burstState from the recycle pool.
+//
+// hot: once per core burst; steady state is allocation-free once the pool
+// has grown to the cores' aggregate pending-ring depth.
+func (r *shardRouter) getBurst(arrival float64) *burstState {
+	var b *burstState
+	if n := len(r.free); n > 0 {
+		b = r.free[n-1]
+		r.free = r.free[:n-1]
+	} else {
+		//lint:allow hotalloc pool growth stops at the cores' aggregate MLP ring depth (tens of entries); steady state recycles
+		b = &burstState{router: r, done: make(chan struct{}, 1), comp: make([]float64, r.shards)}
+	}
+	b.arrival = arrival
+	for i := range b.comp {
+		b.comp[i] = 0
+	}
+	b.activated = false
+	b.actStart = 0
+	b.finalPhys = 0
+	return b
+}
+
+// markWrites replicates the controller's deterministic write marking on the
+// producer, in global issue order, returning the burst's write bitmask.
+func (r *shardRouter) markWrites(n int) uint32 {
+	if r.writeFrac <= 0 {
+		return 0
+	}
+	var w uint32
+	for i := 0; i < n; i++ {
+		r.writeAccum += r.writeFrac
+		if r.writeAccum >= 1 {
+			r.writeAccum--
+			w |= 1 << uint(i)
+		}
+	}
+	return w
+}
+
+// translate runs the burst through the batch mapper into the reusable
+// scratch buffer.
+func (r *shardRouter) translate(lines []uint64) []uint64 {
+	if cap(r.physBuf) < len(lines) {
+		//lint:allow hotalloc scratch growth is monotone and stops at the largest burst ever seen
+		r.physBuf = make([]uint64, len(lines))
+	}
+	phys := r.physBuf[:len(lines)]
+	r.batch.MapBatch(lines, phys)
+	return phys
+}
+
+// route fans one core burst out to the owning shards and returns the
+// rendezvous future. Two passes: the first counts the messages each shard
+// will receive so remaining can be stored before any send (a fast shard
+// must not observe a partial count and signal early), the second fills and
+// sends. Items reach each shard in burst order, and bursts reach it in
+// producer issue order, so every shard sees the serial order restricted to
+// its channels.
+//
+// hot: once per core burst.
+func (r *shardRouter) route(lines []uint64, arrival float64) cpu.Completion {
+	phys := r.translate(lines)
+	writes := r.markWrites(len(lines))
+	b := r.getBurst(arrival)
+
+	var cnt [shardBurstCap]int32
+	for _, p := range phys {
+		cnt[r.shardOf(p)]++
+	}
+	var msgs int32
+	for s := 0; s < r.shards; s++ {
+		msgs += (cnt[s] + shardBurstCap - 1) / shardBurstCap
+	}
+	b.remaining.Store(msgs)
+
+	for s := 0; s < r.shards; s++ {
+		if cnt[s] == 0 {
+			continue
+		}
+		var m shardMsg
+		m.b = b
+		m.arrival = arrival
+		for i, p := range phys {
+			if r.shardOf(p) != s {
+				continue
+			}
+			m.lines[m.n] = lines[i]
+			m.phys[m.n] = p
+			if writes&(1<<uint(i)) != 0 {
+				m.writes |= 1 << uint(m.n)
+			}
+			m.n++
+			if m.n == shardBurstCap {
+				r.in[s] <- m
+				m = shardMsg{b: b, arrival: arrival}
+			}
+		}
+		if m.n > 0 {
+			r.in[s] <- m
+		}
+	}
+	return b
+}
+
+// routeDynamic is the Rubix-D routing path: every access rendezvouses
+// synchronously so the producer can feed the remap engine in serial order
+// and re-translate the burst tail when a remap episode advances the
+// generation — the exact protocol of memctrl.AccessBatch. Byte-identical to
+// serial, with no overlap across shards (documented: Rubix-D shards for
+// correctness symmetry, not for speedup).
+//
+// hot: once per core burst on the dynamic path.
+func (r *shardRouter) routeDynamic(lines []uint64, arrival float64) cpu.Completion {
+	phys := r.translate(lines)
+	writes := r.markWrites(len(lines))
+	gen := r.dyn.Generation()
+	maxC := arrival
+	for i := range lines {
+		if g := r.dyn.Generation(); g != gen {
+			// A remap episode invalidated the pre-translation; redo the
+			// tail under the new circuit state.
+			r.batch.MapBatch(lines[i:], phys[i:])
+			gen = g
+		}
+		sid := r.shardOf(phys[i])
+		b := r.getBurst(arrival)
+		b.remaining.Store(1)
+		var m shardMsg
+		m.b = b
+		m.arrival = arrival
+		m.n = 1
+		m.lines[0] = lines[i]
+		m.phys[0] = phys[i]
+		if writes&(1<<uint(i)) != 0 {
+			m.writes = 1
+		}
+		r.in[sid] <- m
+		<-b.done
+		if b.activated {
+			if op, ok := r.dyn.NoteActivation(b.finalPhys); ok {
+				r.chargeSwap(op, b.actStart)
+			}
+		}
+		if c := b.comp[sid]; c > maxC {
+			maxC = c
+		}
+		//lint:allow hotalloc freelist growth is bounded by the in-flight burst count and amortizes to zero once the pool is warm
+		r.free = append(r.free, b)
+	}
+	return resolved(maxC)
+}
+
+// chargeSwap charges one Rubix-D gang swap across the shard modules owning
+// the swapped rows — the sharded twin of memctrl.(*Controller).chargeSwap,
+// same operations, same arithmetic (memctrl.SwapBlockNs). Safe without
+// locking: the dynamic path holds every shard idle at the rendezvous, and
+// the per-access done-channel handshakes order these writes against the
+// workers' own accesses.
+//
+// cold: swaps are rare (RemapRate ≈ 1%) next to the access stream.
+func (r *shardRouter) chargeSwap(op core.SwapOp, at float64) {
+	modOf := func(row uint64) *dram.Module {
+		return r.mods[r.g.ChannelOf(row)&(r.shards-1)]
+	}
+	x := modOf(op.RowX)
+	x.ForceActivate(op.RowX, at)
+	modOf(op.RowY).ForceActivate(op.RowY, at)
+	x.ForceActivate(op.RowX, at)
+	x.AddExtraCAS(op.CAS)
+	x.BlockChannel(op.RowX, at, memctrl.SwapBlockNs(r.timing, op))
+	r.remapSwaps++
+	r.mRemapSwap.Inc()
+	r.rec.Event(metrics.EvRemapSwap, at, op.RowX)
+}
+
+// remapFan fans core.RemapObserver events out to every shard's checker, in
+// shard order: a remap episode changes the mapping under all of them, so
+// each collision window must flush and each runs the epoch checks.
+type remapFan struct {
+	children []*check.Checker
+}
+
+// OnRemapStep implements core.RemapObserver.
+func (f *remapFan) OnRemapStep(group int, ptr uint64, rolled bool) {
+	for _, c := range f.children {
+		c.OnRemapStep(group, ptr, rolled)
+	}
+}
+
+// shardableMitigations lists the mitigation names whose state partitions by
+// channel: per-row trackers and per-row release grants never couple rows of
+// different channels (bank indices embed the channel bits), and neither
+// scheme draws randomness. Everything else — probabilistic schemes (PARA,
+// DSAC) and row-migration schemes with global quarantine/migration state
+// (AQUA, SRS) — falls back to the serial loop.
+var shardableMitigations = map[string]bool{
+	"none":        true,
+	"blockhammer": true,
+	"bh":          true,
+	"trr":         true,
+}
+
+// effectiveShards resolves Config.Shards against the run's geometry and
+// mitigation. 0 auto-selects the channel count when the run is shardable
+// and 1 otherwise; explicit counts are validated (power of two, ≥ 0) and
+// clamped to the channel count; runs whose mitigation cannot be partitioned
+// fall back to serial regardless.
+func effectiveShards(cfg Config) (int, error) {
+	s := cfg.Shards
+	if s < 0 {
+		return 0, fmt.Errorf("sim: Shards = %d, want ≥ 0", s)
+	}
+	if s&(s-1) != 0 {
+		return 0, fmt.Errorf("sim: Shards = %d, want a power of two", s)
+	}
+	shardable := cfg.MitigationFactory == nil && shardableMitigations[cfg.MitigationName]
+	if s == 0 {
+		if !shardable {
+			return 1, nil
+		}
+		s = cfg.Geometry.Channels
+	}
+	if s > cfg.Geometry.Channels {
+		s = cfg.Geometry.Channels
+	}
+	if s <= 1 || !shardable {
+		return 1, nil
+	}
+	return s, nil
+}
+
+// runSharded executes one simulation split across `shards` shard event
+// loops and assembles a Result byte-identical to the serial path's. The
+// mapper, checker attachment, and map latency are the ones Run already
+// resolved; per-shard DRAM modules, mitigations, controllers, recorders,
+// and checkers are built here and merged back in fixed shard order.
+//
+// cold: setup and merge; the per-access work lives in route/worker.
+func runSharded(cfg Config, shards int, mapper mapping.Mapper, lat float64) (*Result, error) {
+	rec := cfg.Metrics
+	chk := cfg.Check
+
+	router := &shardRouter{
+		g:          cfg.Geometry,
+		shards:     shards,
+		batch:      mapping.Batched(mapper),
+		writeFrac:  cfg.WriteFraction,
+		timing:     cfg.Timing,
+		rec:        rec,
+		mRemapSwap: rec.Counter("memctrl_remap_swaps"),
+		in:         make([]chan shardMsg, shards),
+		ctrls:      make([]*memctrl.Controller, shards),
+		mods:       make([]*dram.Module, shards),
+	}
+	router.physBuf = router.physArr[:0]
+	if d, ok := mapper.(memctrl.Dynamic); ok {
+		router.dyn = d
+	}
+
+	recChildren := make([]*metrics.Recorder, shards)
+	chkChildren := make([]*check.Checker, shards)
+	mits := make([]mitigation.Mitigator, shards)
+	for s := 0; s < shards; s++ {
+		recChildren[s] = rec.Fork()
+		chkChildren[s] = chk.Fork()
+		mod := dram.New(dram.Config{
+			Geometry:    cfg.Geometry,
+			Timing:      cfg.Timing,
+			TRH:         cfg.TRH,
+			LineCensus:  cfg.LineCensus,
+			LatencyHist: cfg.LatencyHist,
+			Metrics:     recChildren[s],
+			Check:       chkChildren[s],
+		})
+		mit, err := mitigation.ByName(cfg.MitigationName, mod, cfg.TRH, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		mits[s] = mit
+		metrics.Attach(recChildren[s], mit)
+		if chk != nil {
+			mit = check.WrapMitigator(chkChildren[s], mit)
+		}
+		router.mods[s] = mod
+		router.ctrls[s] = memctrl.New(memctrl.Config{
+			DRAM: mod, Map: mapper, Mit: mit,
+			MapLatencyNs: lat,
+			Metrics:      recChildren[s], Check: chkChildren[s],
+		})
+		router.in[s] = make(chan shardMsg, shardQueueDepth)
+	}
+	if chk != nil {
+		if ro, ok := mapper.(remapObservable); ok {
+			ro.SetRemapObserver(&remapFan{children: chkChildren})
+		}
+	}
+
+	cores := make([]*cpu.Core, len(cfg.Workloads))
+	for i, p := range cfg.Workloads {
+		cores[i] = cpu.New(i, cfg.Core, p, cfg.InstrPerCore, cfg.Seed+uint64(i)*7919+1)
+	}
+
+	rec.Phase("simulate")
+
+	//lint:allow waitgroup Add IS in the spawning function, before the go statements below; the analyzer flags it because runSharded is itself reachable from Suite.Prefetch's worker goroutines, whose lifetime wholly contains this WaitGroup's
+	router.wg.Add(shards)
+	for s := 0; s < shards; s++ {
+		go router.worker(s)
+	}
+	issue := router.route
+	if router.dyn != nil {
+		issue = router.routeDynamic
+	}
+	runCoresAsync(cores, issue)
+	for s := 0; s < shards; s++ {
+		close(router.in[s])
+	}
+	router.wg.Wait()
+
+	rec.Phase("census")
+	stats := dram.FinalizeSharded(router.mods)
+	var mitigations uint64
+	for s := 0; s < shards; s++ {
+		mitigations += mits[s].Mitigations()
+		chkChildren[s].OnRunEnd(router.mods[s].Stats().DemandActs, router.mods[s].Stats().ExtraActs)
+		chk.Absorb(chkChildren[s])
+		rec.Absorb(recChildren[s])
+	}
+	chk.OnRunEnd(stats.DemandActs, stats.ExtraActs)
+
+	res := &Result{
+		Mapping:     mapper.Name(),
+		Mitigation:  mits[0].Name(),
+		IPC:         make([]float64, len(cores)),
+		DRAM:        stats,
+		Mitigations: mitigations,
+		RemapSwaps:  router.remapSwaps,
+		Shards:      shards,
+	}
+	for i, c := range cores {
+		res.IPC[i] = c.IPC()
+		res.MeanIPC += c.IPC()
+		if c.Now > res.ElapsedNs {
+			res.ElapsedNs = c.Now
+		}
+		res.WorkloadNames = append(res.WorkloadNames, c.WorkloadName())
+	}
+	res.MeanIPC /= float64(len(cores))
+	res.PowerMW = power.DDR4DIMM16GB().Estimate(stats, res.ElapsedNs)
+	res.Config = fmt.Sprintf("%s/%s/TRH=%d", res.Mapping, res.Mitigation, cfg.TRH)
+	if rec != nil {
+		rec.Gauge("sim_elapsed_ns").Set(res.ElapsedNs)
+		rec.Gauge("sim_mean_ipc").Set(res.MeanIPC)
+		for i, ipc := range res.IPC {
+			rec.Gauge(ipcGaugeName(i)).Set(ipc)
+		}
+		if stats.Latency != nil {
+			rec.Hist("dram_latency_ns").Merge(stats.Latency)
+		}
+		res.Metrics = rec.Snapshot()
+	}
+	if err := chk.Err(); err != nil {
+		return nil, fmt.Errorf("sim: paranoid check failed for %s: %w", res.Config, err)
+	}
+	return res, nil
+}

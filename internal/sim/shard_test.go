@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"rubix/internal/check"
+	"rubix/internal/geom"
+)
+
+// TestShardedMatchesSerial is the differential oracle for the tentpole
+// claim: the sharded run's Result is byte-identical to the serial path
+// across geometries, mappings, and every shardable mitigation — including
+// reflect.DeepEqual over the full DRAM stats (float latency decomposition,
+// per-window census, latency histogram pointer target, and the unexported
+// currentStart).
+func TestShardedMatchesSerial(t *testing.T) {
+	geos := map[string]geom.Geometry{
+		"2ch": geom.DDR4_32GB2Ch(),
+		"4ch": geom.DDR4_32GB4Ch(),
+	}
+	cases := []struct {
+		name     string
+		mapping  string
+		mit      string
+		writes   float64
+		latHist  bool
+	}{
+		{"coffeelake-none", "coffeelake", "none", 0, false},
+		{"coffeelake-blockhammer", "coffeelake", "blockhammer", 0, false},
+		{"rubixs-none", "rubixs-gs4", "none", 0, true},
+		{"rubixs-trr", "rubixs-gs4", "trr", 0, false},
+		{"rubixs-bh-writes", "rubixs-gs2", "bh", 0.25, true},
+		{"staticxor-trr", "staticxor-gs2", "trr", 0, false},
+	}
+	for gname, g := range geos {
+		for _, tc := range cases {
+			t.Run(gname+"/"+tc.name, func(t *testing.T) {
+				t.Parallel()
+				mkCfg := func() Config {
+					profiles, err := ResolveWorkload("mix1", 4, g, 42)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return Config{
+						Geometry:       g,
+						TRH:            1000,
+						MappingName:    tc.mapping,
+						MitigationName: tc.mit,
+						Workloads:      profiles,
+						InstrPerCore:   2_000_000,
+						Seed:           42,
+						WriteFraction:  tc.writes,
+						LatencyHist:    tc.latHist,
+					}
+				}
+				serial, err := Run(func() Config { c := mkCfg(); c.Shards = 1; return c }())
+				if err != nil {
+					t.Fatalf("serial: %v", err)
+				}
+				sharded, err := Run(func() Config { c := mkCfg(); c.Shards = 0; return c }())
+				if err != nil {
+					t.Fatalf("sharded: %v", err)
+				}
+				assertShardedEqual(t, serial, sharded, g.Channels)
+			})
+		}
+	}
+}
+
+// TestShardedRubixD pins the dynamic-mapping path: Rubix-D remap
+// generations cross shard rendezvous points, swaps are charged across shard
+// modules, and the result — including RemapSwaps — still matches serial
+// byte for byte.
+func TestShardedRubixD(t *testing.T) {
+	g := geom.DDR4_32GB4Ch()
+	mkCfg := func() Config {
+		profiles, err := ResolveWorkload("mcf", 4, g, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Config{
+			Geometry:       g,
+			TRH:            500,
+			MappingName:    "rubixd-gs2",
+			MitigationName: "none",
+			Workloads:      profiles,
+			InstrPerCore:   2_000_000,
+			Seed:           7,
+		}
+	}
+	serial, err := Run(func() Config { c := mkCfg(); c.Shards = 1; return c }())
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	sharded, err := Run(func() Config { c := mkCfg(); c.Shards = 4; return c }())
+	if err != nil {
+		t.Fatalf("sharded: %v", err)
+	}
+	if serial.RemapSwaps == 0 {
+		t.Fatal("test vacuous: no remap swaps occurred")
+	}
+	assertShardedEqual(t, serial, sharded, 4)
+}
+
+// assertShardedEqual compares a serial and a sharded Result field by field
+// (after equalizing the Shards report) and fails with the first divergence.
+func assertShardedEqual(t *testing.T, serial, sharded *Result, wantShards int) {
+	t.Helper()
+	if sharded.Shards != wantShards {
+		t.Fatalf("sharded run used %d shards, want %d", sharded.Shards, wantShards)
+	}
+	a, b := *serial, *sharded
+	a.Shards, b.Shards = 0, 0
+	if !reflect.DeepEqual(a.DRAM, b.DRAM) {
+		t.Errorf("DRAM stats diverge:\nserial:  %+v\nsharded: %+v", *a.DRAM, *b.DRAM)
+	}
+	a.DRAM, b.DRAM = nil, nil
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("results diverge:\nserial:  %+v\nsharded: %+v", a, b)
+	}
+}
+
+// TestShardedSerialFallback pins the eligibility rules: non-partitionable
+// mitigations and single-channel geometries run serial regardless of the
+// requested shard count, and invalid counts fail fast.
+func TestShardedSerialFallback(t *testing.T) {
+	g1 := geom.DDR4_16GB()
+	g4 := geom.DDR4_32GB4Ch()
+	cases := []struct {
+		name string
+		cfg  Config
+		want int
+	}{
+		{"aqua falls back", Config{Geometry: g4, MitigationName: "aqua", Shards: 4}, 1},
+		{"srs auto stays serial", Config{Geometry: g4, MitigationName: "srs", Shards: 0}, 1},
+		{"para falls back", Config{Geometry: g4, MitigationName: "para", Shards: 2}, 1},
+		{"one channel", Config{Geometry: g1, MitigationName: "none", Shards: 4}, 1},
+		{"clamped to channels", Config{Geometry: g4, MitigationName: "none", Shards: 8}, 4},
+		{"auto on none", Config{Geometry: g4, MitigationName: "trr", Shards: 0}, 4},
+		{"explicit two", Config{Geometry: g4, MitigationName: "blockhammer", Shards: 2}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := effectiveShards(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("effectiveShards = %d, want %d", got, tc.want)
+			}
+		})
+	}
+	if _, err := effectiveShards(Config{Geometry: g4, MitigationName: "none", Shards: 3}); err == nil {
+		t.Fatal("non-power-of-two shard count accepted")
+	}
+	if _, err := effectiveShards(Config{Geometry: g4, MitigationName: "none", Shards: -1}); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+}
+
+// TestShardRendezvousHammer stresses the burst rendezvous under the race
+// detector: several sharded runs execute concurrently, each fanning
+// high-MLP bursts across 4 shard workers, and each must still reproduce its
+// serial twin exactly. Any unsynchronized access in the burstState counter
+// chain, the completion slots, or the message recycling shows up under
+// `go test -race` (the CI race matrix runs this with -count=2).
+func TestShardRendezvousHammer(t *testing.T) {
+	g := geom.DDR4_32GB4Ch()
+	mkCfg := func(seed uint64, shards int) Config {
+		// stream-add has MLP 8: bursts split across shards on nearly every
+		// step, maximizing rendezvous traffic.
+		profiles, err := ResolveWorkload("stream-add", 4, g, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Config{
+			Geometry:       g,
+			TRH:            1000,
+			MappingName:    "coffeelake",
+			MitigationName: "none",
+			Workloads:      profiles,
+			InstrPerCore:   1_000_000,
+			Seed:           seed,
+			Shards:         shards,
+		}
+	}
+	for _, seed := range []uint64{3, 5, 9} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			serial, err := Run(mkCfg(seed, 1))
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			sharded, err := Run(mkCfg(seed, 4))
+			if err != nil {
+				t.Fatalf("sharded: %v", err)
+			}
+			assertShardedEqual(t, serial, sharded, 4)
+		})
+	}
+}
+
+// TestShardedParanoid runs the sharded path under the full paranoid checker
+// (forked per shard, absorbed at the end): conservation ledgers must close
+// on every shard and on the merged parent.
+func TestShardedParanoid(t *testing.T) {
+	g := geom.DDR4_32GB4Ch()
+	profiles, err := ResolveWorkload("mix2", 4, g, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Geometry:       g,
+		TRH:            1000,
+		MappingName:    "rubixs-gs4",
+		MitigationName: "blockhammer",
+		Workloads:      profiles,
+		InstrPerCore:   2_000_000,
+		Seed:           11,
+		Shards:         4,
+		Check:          check.New(check.Config{SampleEvery: 8}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 4 {
+		t.Fatalf("Shards = %d, want 4", res.Shards)
+	}
+}
