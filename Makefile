@@ -1,6 +1,6 @@
 # Convenience targets mirroring the CI jobs (.github/workflows/ci.yml).
 
-.PHONY: all build test race race-concurrency lint lint-audit ci profile bench bench-mapping bench-shards benchdiff check-paranoid check-replay
+.PHONY: all build test race race-concurrency lint lint-audit ci profile bench bench-mapping bench-shards benchdiff check-paranoid check-replay smoke-rubixd
 
 all: build test
 
@@ -87,6 +87,13 @@ check-replay:
 		-trh 128 -scale 0.01 -cores 2 -check replay
 	go run ./cmd/rubixsim -workload mcf -mapping rubixs-gs4 -mitigation none \
 		-trh 128 -scale 0.01 -cores 2 -check replay
+
+# End-to-end sweep-service gate: start rubixd with a persistent store, run
+# a small batched sweep, SIGTERM-drain it, restart on the same store, and
+# assert the identical sweep is served byte-for-byte with ZERO fresh
+# simulations (counters read from /metrics?format=json). Needs curl + jq.
+smoke-rubixd:
+	bash scripts/smoke_rubixd.sh
 
 # Profile a mid-size hot configuration: CPU profile and metrics snapshot
 # land in results/, and a live pprof + /metrics endpoint serves on :6060

@@ -25,13 +25,17 @@ import (
 	"rubix/internal/sim"
 )
 
-// runTimer collects per-run wall times via Options.OnRunDone; it must be
-// safe for the concurrent callbacks Prefetch produces.
+// runTimer collects per-run wall times via Options.OnRunDone and
+// Options.OnRunErr; it must be safe for the concurrent callbacks Prefetch
+// produces. Failed attempts count too: before OnRunErr existed, -progress
+// undercounted sweeps with failures and the timing table silently dropped
+// the time those attempts burned.
 type runTimer struct {
 	mu       sync.Mutex
 	progress bool
 	specs    []string // guarded by mu
 	wallNs   []int64  // guarded by mu
+	failed   int      // guarded by mu
 }
 
 func (t *runTimer) done(spec sim.RunSpec, _ *sim.Result, wallNs int64) {
@@ -43,6 +47,19 @@ func (t *runTimer) done(spec sim.RunSpec, _ *sim.Result, wallNs int64) {
 	if t.progress {
 		fmt.Fprintf(os.Stderr, "experiments: run %3d done in %6.2fs: %s\n",
 			n, float64(wallNs)/1e9, spec)
+	}
+}
+
+func (t *runTimer) fail(spec sim.RunSpec, err error, wallNs int64) {
+	t.mu.Lock()
+	t.specs = append(t.specs, spec.String()+" [FAILED]")
+	t.wallNs = append(t.wallNs, wallNs)
+	t.failed++
+	n := len(t.specs)
+	t.mu.Unlock()
+	if t.progress {
+		fmt.Fprintf(os.Stderr, "experiments: run %3d FAILED in %6.2fs: %s: %v\n",
+			n, float64(wallNs)/1e9, spec, err)
 	}
 }
 
@@ -64,8 +81,13 @@ func (t *runTimer) table(top int) string {
 		total += ns
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "Timing: %d simulated runs, %.1fs total wall time (parallel)\n",
-		len(t.specs), float64(total)/1e9)
+	if t.failed > 0 {
+		fmt.Fprintf(&b, "Timing: %d simulated runs (%d failed), %.1fs total wall time (parallel)\n",
+			len(t.specs), t.failed, float64(total)/1e9)
+	} else {
+		fmt.Fprintf(&b, "Timing: %d simulated runs, %.1fs total wall time (parallel)\n",
+			len(t.specs), float64(total)/1e9)
+	}
 	if top > len(idx) {
 		top = len(idx)
 	}
@@ -98,7 +120,8 @@ func main() {
 	timer := &runTimer{progress: *progress}
 	// SeedSet: the -seed flag was resolved by flag.Parse, so even an explicit
 	// -seed 0 must be honored rather than remapped to the default.
-	opts := sim.Options{Scale: *scale, Seed: *seed, SeedSet: true, Shards: *shards, OnRunDone: timer.done}
+	opts := sim.Options{Scale: *scale, Seed: *seed, SeedSet: true, Shards: *shards,
+		OnRunDone: timer.done, OnRunErr: timer.fail}
 	switch *checks {
 	case "":
 	case "paranoid":

@@ -28,6 +28,7 @@ import (
 	"rubix/internal/check"
 	"rubix/internal/geom"
 	"rubix/internal/metrics"
+	"rubix/internal/server"
 	"rubix/internal/sim"
 )
 
@@ -121,14 +122,23 @@ func main() {
 	}
 	if *pprofAddr != "" {
 		// The underscore import of net/http/pprof registered its handlers on
-		// http.DefaultServeMux; /metrics joins them.
+		// http.DefaultServeMux; /metrics joins them. Start binds the address
+		// synchronously, so a taken port fails the run here instead of
+		// printing "serving on ..." and then dying in a goroutine.
 		http.Handle("/metrics", pub)
+		srv := server.NewHTTPServer(*pprofAddr, nil) // nil handler = DefaultServeMux
+		errc, err := server.Start(srv)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rubixsim: pprof server:", err)
+			os.Exit(1)
+		}
 		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			//lint:allow goroutineleak Start's serve goroutine sends exactly one error on the buffered errc when the listener exits; until then this reporter goroutine is meant to idle for the process lifetime
+			if err := <-errc; err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "rubixsim: pprof server:", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "rubixsim: serving pprof and /metrics on http://%s\n", *pprofAddr)
+		fmt.Fprintf(os.Stderr, "rubixsim: serving pprof and /metrics on http://%s\n", srv.Addr)
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

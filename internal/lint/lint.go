@@ -155,8 +155,11 @@ const (
 	// scopeInternal gates library (internal/...) packages.
 	scopeInternal
 	// scopeSim gates the simulation packages: internal/... minus the lint
-	// tool, which is tooling rather than simulation and may e.g. iterate
-	// maps after sorting for report ordering.
+	// tool (tooling rather than simulation; may e.g. iterate maps after
+	// sorting for report ordering) and minus the service infrastructure
+	// (internal/server batches requests with real timers, internal/store
+	// persists to disk — wall-clock and syscall nondeterminism is their
+	// job, and none of their state feeds back into simulation results).
 	scopeSim
 	// scopeSimNoMetrics is scopeSim minus internal/metrics, whose own
 	// implementation legitimately reads the values it records.
@@ -190,10 +193,15 @@ var analyzerScope = map[string]scopeClass{
 func DefaultScope(modulePath string) Scope {
 	internalPrefix := modulePath + "/internal/"
 	lintPrefix := modulePath + "/internal/lint"
+	serverPrefix := modulePath + "/internal/server"
+	storePrefix := modulePath + "/internal/store"
 	metricsPath := modulePath + "/internal/metrics"
 	return func(a *Analyzer, pkgPath string) bool {
 		inInternal := strings.HasPrefix(pkgPath, internalPrefix)
-		simPkg := inInternal && !strings.HasPrefix(pkgPath, lintPrefix)
+		simPkg := inInternal &&
+			!strings.HasPrefix(pkgPath, lintPrefix) &&
+			!strings.HasPrefix(pkgPath, serverPrefix) &&
+			!strings.HasPrefix(pkgPath, storePrefix)
 		class, ok := analyzerScope[a.Name]
 		if !ok {
 			class = scopeSim

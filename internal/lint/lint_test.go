@@ -86,6 +86,8 @@ func TestDefaultScope(t *testing.T) {
 	}{
 		{"determinism", "rubix/internal/sim", true},
 		{"determinism", "rubix/internal/lint", false},
+		{"determinism", "rubix/internal/server", false},
+		{"determinism", "rubix/internal/store", false},
 		{"determinism", "rubix/cmd/rubixsim", false},
 		{"bitwidth", "rubix/internal/geom", true},
 		{"bitwidth", "rubix/internal/lint/linttest", false},
@@ -93,6 +95,7 @@ func TestDefaultScope(t *testing.T) {
 		{"seedflow", "rubix/internal/workload", true},
 		{"panicpolicy", "rubix/internal/workload", true},
 		{"panicpolicy", "rubix/internal/lint", true},
+		{"panicpolicy", "rubix/internal/server", true},
 		{"panicpolicy", "rubix/examples/quickstart", false},
 		{"observereffect", "rubix/internal/sim", true},
 		{"observereffect", "rubix/internal/metrics", false},
@@ -101,9 +104,11 @@ func TestDefaultScope(t *testing.T) {
 		{"addrwidth", "rubix/internal/mapping", true},
 		{"addrwidth", "rubix/internal/lint", false},
 		{"errdiscard", "rubix/cmd/rubixsim", true},
+		{"errdiscard", "rubix/internal/store", true},
 		{"errdiscard", "rubix/examples/quickstart", true},
 		{"errdiscard", "rubix/internal/kcipher", true},
 		{"lockdiscipline", "rubix/internal/sim", true},
+		{"lockdiscipline", "rubix/internal/server", true},
 		{"lockdiscipline", "rubix/cmd/experiments", true},
 		{"lockdiscipline", "rubix/internal/lint/linttest", true},
 		{"goroutineescape", "rubix/internal/check", true},
@@ -119,6 +124,7 @@ func TestDefaultScope(t *testing.T) {
 		{"unitflow", "rubix/internal/dram", true},
 		{"unitflow", "rubix/internal/lint/linttest", false},
 		{"hotalloc", "rubix/internal/memctrl", true},
+		{"hotalloc", "rubix/internal/server", false},
 		{"hotalloc", "rubix/examples/quickstart", false},
 	}
 	for _, c := range cases {

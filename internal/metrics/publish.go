@@ -8,6 +8,8 @@ package metrics
 
 import (
 	"net/http"
+	"strconv"
+	"strings"
 	"sync/atomic"
 )
 
@@ -37,14 +39,54 @@ func (p *Publisher) Hook() func(*Snapshot) {
 	return func(s *Snapshot) { p.Publish(s) }
 }
 
-// ServeHTTP implements http.Handler: the text rendering of the latest
-// snapshot, or 503 before the first publish.
-func (p *Publisher) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+// ServeHTTP implements http.Handler. GET and HEAD are served (HEAD with
+// full headers, including Content-Length, and no body); anything else is
+// 405 with an Allow header. The default rendering is the stable text form;
+// the JSON snapshot is served when the client asks for it with either
+// `?format=json` or an `Accept: application/json` header, so rubixd
+// clients and the CI jq smoke jobs share one endpoint with the
+// line-oriented scrapers. Before the first publish every form answers 503.
+func (p *Publisher) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+	default:
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
 	s := p.Latest()
 	if s == nil {
 		http.Error(w, "no metrics published yet", http.StatusServiceUnavailable)
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_, _ = w.Write([]byte(s.Text()))
+	var body []byte
+	contentType := "text/plain; charset=utf-8"
+	if wantsJSON(r) {
+		data, err := s.JSON()
+		if err != nil {
+			http.Error(w, "encoding snapshot: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		body = data
+		contentType = "application/json"
+	} else {
+		body = []byte(s.Text())
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	if r.Method == http.MethodHead {
+		return
+	}
+	_, _ = w.Write(body)
+}
+
+// wantsJSON reports whether the request asked for the JSON rendering,
+// either explicitly (?format=json) or via content negotiation. The Accept
+// check is a deliberate substring match: full q-value parsing buys nothing
+// for a two-format endpoint.
+func wantsJSON(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "json" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/json")
 }

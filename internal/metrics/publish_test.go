@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// publishedTestSnapshot builds a Publisher with one counter published.
+func publishedTestSnapshot(t *testing.T) *Publisher {
+	t.Helper()
+	rec := New(Config{})
+	rec.Counter("requests_total").Add(42)
+	p := &Publisher{}
+	p.Publish(rec.Snapshot())
+	return p
+}
+
+// TestPublisherContentNegotiation pins the endpoint's two renderings and
+// how they are selected: text by default, JSON under ?format=json or an
+// Accept: application/json header.
+func TestPublisherContentNegotiation(t *testing.T) {
+	p := publishedTestSnapshot(t)
+	cases := []struct {
+		name     string
+		target   string
+		accept   string
+		wantType string
+		wantJSON bool
+	}{
+		{"default text", "/metrics", "", "text/plain; charset=utf-8", false},
+		{"query json", "/metrics?format=json", "", "application/json", true},
+		{"accept json", "/metrics", "application/json", "application/json", true},
+		{"accept list json", "/metrics", "text/html, application/json;q=0.9", "application/json", true},
+		{"accept other", "/metrics", "text/html", "text/plain; charset=utf-8", false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			req := httptest.NewRequest(http.MethodGet, c.target, nil)
+			if c.accept != "" {
+				req.Header.Set("Accept", c.accept)
+			}
+			rr := httptest.NewRecorder()
+			p.ServeHTTP(rr, req)
+			if rr.Code != http.StatusOK {
+				t.Fatalf("status = %d", rr.Code)
+			}
+			if got := rr.Header().Get("Content-Type"); got != c.wantType {
+				t.Fatalf("Content-Type = %q, want %q", got, c.wantType)
+			}
+			if c.wantJSON {
+				var snap Snapshot
+				if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+					t.Fatalf("body is not valid snapshot JSON: %v", err)
+				}
+				if snap.Counters["requests_total"] != 42 {
+					t.Fatalf("JSON snapshot lost the counter: %+v", snap.Counters)
+				}
+			} else if !strings.Contains(rr.Body.String(), "counter requests_total 42") {
+				t.Fatalf("text body missing counter line: %q", rr.Body.String())
+			}
+		})
+	}
+}
+
+// TestPublisherHead: HEAD gets status, Content-Type, and an accurate
+// Content-Length for both renderings, with no body.
+func TestPublisherHead(t *testing.T) {
+	p := publishedTestSnapshot(t)
+	for _, target := range []string{"/metrics", "/metrics?format=json"} {
+		req := httptest.NewRequest(http.MethodHead, target, nil)
+		rr := httptest.NewRecorder()
+		p.ServeHTTP(rr, req)
+		if rr.Code != http.StatusOK {
+			t.Fatalf("HEAD %s: status = %d", target, rr.Code)
+		}
+		if rr.Body.Len() != 0 {
+			t.Fatalf("HEAD %s wrote a body (%d bytes)", target, rr.Body.Len())
+		}
+		// The advertised length must match what GET actually serves.
+		getReq := httptest.NewRequest(http.MethodGet, target, nil)
+		getRR := httptest.NewRecorder()
+		p.ServeHTTP(getRR, getReq)
+		want := strconv.Itoa(getRR.Body.Len())
+		if got := rr.Header().Get("Content-Length"); got != want {
+			t.Fatalf("HEAD %s: Content-Length = %s, want %s", target, got, want)
+		}
+	}
+}
+
+// TestPublisherMethodNotAllowed: mutating methods are rejected with Allow.
+func TestPublisherMethodNotAllowed(t *testing.T) {
+	p := publishedTestSnapshot(t)
+	for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
+		req := httptest.NewRequest(method, "/metrics", nil)
+		rr := httptest.NewRecorder()
+		p.ServeHTTP(rr, req)
+		if rr.Code != http.StatusMethodNotAllowed {
+			t.Fatalf("%s: status = %d, want 405", method, rr.Code)
+		}
+		if got := rr.Header().Get("Allow"); got != "GET, HEAD" {
+			t.Fatalf("%s: Allow = %q", method, got)
+		}
+	}
+}
+
+// TestPublisherBeforeFirstPublish: all accepted methods answer 503 until a
+// snapshot exists.
+func TestPublisherBeforeFirstPublish(t *testing.T) {
+	p := &Publisher{}
+	for _, method := range []string{http.MethodGet, http.MethodHead} {
+		req := httptest.NewRequest(method, "/metrics?format=json", nil)
+		rr := httptest.NewRecorder()
+		p.ServeHTTP(rr, req)
+		if rr.Code != http.StatusServiceUnavailable {
+			t.Fatalf("%s before publish: status = %d, want 503", method, rr.Code)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Shared http.Server construction. Every HTTP listener in this repo — the
+// rubixd sweep service and the rubixsim pprof/metrics endpoint — goes
+// through NewHTTPServer + Start instead of http.ListenAndServe, for two
+// reasons the bare call gets wrong:
+//
+//  1. A bare ListenAndServe in a goroutine reports a bind failure (port
+//     taken, bad address) only after the caller has already printed "serving
+//     on ...": Start binds the listener synchronously, so a bad -addr fails
+//     the process immediately, and only then serves in the background.
+//
+//  2. http.Server's zero value has no timeouts, so one client that opens a
+//     socket and never finishes its request headers holds a connection
+//     forever. NewHTTPServer sets the header/idle timeouts; the write
+//     timeout stays unlimited because a batched sweep response legitimately
+//     takes as long as the simulations behind it.
+package server
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+// NewHTTPServer returns an http.Server for addr with this repo's standard
+// timeouts applied.
+func NewHTTPServer(addr string, handler http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		// WriteTimeout deliberately 0: /run and /batch block until the
+		// simulations finish, which at full scale is minutes.
+	}
+}
+
+// Start binds srv's address synchronously and begins serving in the
+// background. A bind failure is returned immediately; serve-loop errors
+// (including the http.ErrServerClosed that Shutdown produces) arrive on the
+// returned channel, which is buffered so the goroutine never leaks even if
+// the caller stops listening.
+func Start(srv *http.Server) (<-chan error, error) {
+	ln, err := net.Listen("tcp", srv.Addr)
+	if err != nil {
+		return nil, err
+	}
+	// Report the bound address back (useful when Addr had port 0).
+	srv.Addr = ln.Addr().String()
+	errc := make(chan error, 1)
+	go func() {
+		errc <- srv.Serve(ln)
+	}()
+	return errc, nil
+}
+
+// Shutdown gracefully stops srv, allowing in-flight requests up to timeout
+// to complete before forcing connections closed.
+func Shutdown(srv *http.Server, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}

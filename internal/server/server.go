@@ -1,0 +1,371 @@
+// Package server is the rubixd sweep service: an HTTP/JSON front end over
+// the sim.Suite experiment harness. Requests name RunSpecs; the server
+// batches them (see Batcher), runs each unique spec at most once per
+// process via the Suite's per-spec sync.Once, consults and feeds the
+// persistent content-addressed result store so identical sweeps across
+// restarts are served without simulating, and publishes its counters on
+// /metrics through the same metrics.Publisher the simulator uses.
+//
+// Endpoints:
+//
+//	POST /run     one RunSpec in, one encoded Result out
+//	POST /batch   {"specs": [RunSpec...]} in, per-spec results out
+//	GET  /metrics text or JSON snapshot (see metrics.Publisher)
+//	GET  /healthz liveness probe
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"rubix/internal/metrics"
+	"rubix/internal/sim"
+)
+
+// Counter names published on /metrics. Pre-registered at construction so a
+// scrape before the first request still reports them (as zeros) — the CI
+// smoke job asserts on rubixd_sims_fresh == 0 after a warm restart, which
+// only works if the counter exists without any fresh simulation bumping it.
+const (
+	cRequests    = "rubixd_requests_total" // specs received across /run and /batch
+	cBatches     = "rubixd_batches_total"  // batches dispatched to the executor
+	cSimsFresh   = "rubixd_sims_fresh"     // simulations actually executed
+	cSimErrors   = "rubixd_sim_errors"     // simulations that failed
+	cStoreHits   = "rubixd_store_hits"     // specs served from the persistent store
+	cStoreErrors = "rubixd_store_errors"   // store-tier failures the Suite swallowed
+	cHTTPErrors  = "rubixd_http_errors"    // requests rejected before reaching the batcher
+)
+
+// maxRequestBody bounds request bodies: a batch of a few thousand specs is
+// well under this, and it keeps a misbehaving client from buffering
+// gigabytes into the decoder.
+const maxRequestBody = 4 << 20
+
+// Config configures a Server.
+type Config struct {
+	// Sim seeds the Suite options. The server chains its own counter hooks
+	// after any hooks already present, and installs Store below.
+	Sim sim.Options
+	// Store is the persistent result tier (usually *store.Store). Nil runs
+	// the service memory-only.
+	Store sim.ResultStore
+	// BatchSize is the flush threshold (default 8).
+	BatchSize int
+	// BatchWait bounds how long a partial batch waits (default 50ms).
+	BatchWait time.Duration
+	// Parallelism bounds concurrent simulations per batch (default
+	// NumCPU, floor 1).
+	Parallelism int
+}
+
+// Server is the rubixd HTTP service. Create with New; it implements
+// http.Handler.
+type Server struct {
+	suite    *sim.Suite
+	batcher  *Batcher
+	parallel int
+	mux      *http.ServeMux
+	pub      *metrics.Publisher
+
+	recMu sync.Mutex
+	rec   *metrics.Recorder // guarded by recMu
+}
+
+// New builds a Server. The returned server is live: requests may be served
+// immediately, and Close must be called to drain it.
+func New(cfg Config) (*Server, error) {
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 8
+	}
+	if cfg.BatchWait == 0 {
+		cfg.BatchWait = 50 * time.Millisecond
+	}
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = runtime.NumCPU()
+	}
+	if cfg.Parallelism < 1 {
+		cfg.Parallelism = 1
+	}
+	s := &Server{
+		parallel: cfg.Parallelism,
+		pub:      &metrics.Publisher{},
+		rec:      metrics.New(metrics.Config{}),
+	}
+	for _, name := range []string{cRequests, cBatches, cSimsFresh, cSimErrors, cStoreHits, cStoreErrors, cHTTPErrors} {
+		s.rec.Counter(name) // pre-register so scrapes see zeros
+	}
+	s.pub.Publish(s.rec.Snapshot())
+
+	opts := cfg.Sim
+	opts.Store = cfg.Store
+	// Chain the counter hooks after whatever the caller installed: the
+	// server observes every run outcome without stealing the callbacks.
+	prevDone, prevErr := opts.OnRunDone, opts.OnRunErr
+	prevHit, prevStoreErr := opts.OnStoreHit, opts.OnStoreErr
+	opts.OnRunDone = func(spec sim.RunSpec, res *sim.Result, wallNs int64) {
+		s.bump(cSimsFresh)
+		if prevDone != nil {
+			prevDone(spec, res, wallNs)
+		}
+	}
+	opts.OnRunErr = func(spec sim.RunSpec, err error, wallNs int64) {
+		s.bump(cSimErrors)
+		if prevErr != nil {
+			prevErr(spec, err, wallNs)
+		}
+	}
+	opts.OnStoreHit = func(spec sim.RunSpec) {
+		s.bump(cStoreHits)
+		if prevHit != nil {
+			prevHit(spec)
+		}
+	}
+	opts.OnStoreErr = func(spec sim.RunSpec, err error) {
+		s.bump(cStoreErrors)
+		if prevStoreErr != nil {
+			prevStoreErr(spec, err)
+		}
+	}
+	s.suite = sim.NewSuite(opts)
+
+	b, err := NewBatcher(cfg.BatchSize, cfg.BatchWait, s.execute)
+	if err != nil {
+		return nil, err
+	}
+	s.batcher = b
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/run", s.handleRun)
+	s.mux.HandleFunc("/batch", s.handleBatch)
+	s.mux.Handle("/metrics", s.pub)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close drains the batcher: every accepted request completes (and its
+// result is persisted) before Close returns. Call after the HTTP listener
+// has stopped accepting new requests.
+func (s *Server) Close() {
+	s.batcher.Close()
+}
+
+// bump adds one to the named counter and republishes the snapshot, so
+// /metrics always reflects the bump that just happened. The Recorder is
+// single-threaded by contract; the mutex serializes the Suite's concurrent
+// callbacks over it, and readers only ever see published snapshots.
+func (s *Server) bump(name string) {
+	s.recMu.Lock()
+	s.rec.Counter(name).Inc()
+	snap := s.rec.Snapshot()
+	s.recMu.Unlock()
+	s.pub.Publish(snap)
+}
+
+// execute runs one deduplicated batch: each spec through Suite.Run, at most
+// s.parallel concurrently. Deliberately NOT Suite.Prefetch-then-Run: the
+// Suite evicts failed entries so a later Run retries, which means a
+// Prefetch failure followed by a per-spec Run to fetch the error would
+// re-simulate every failure. Running directly observes each spec's outcome
+// exactly once.
+func (s *Server) execute(specs []sim.RunSpec) map[sim.RunSpec]RunOutcome {
+	s.bump(cBatches)
+	outcomes := make(map[sim.RunSpec]RunOutcome, len(specs))
+	var mu sync.Mutex
+	sem := make(chan struct{}, s.parallel)
+	var wg sync.WaitGroup
+	for _, spec := range specs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(spec sim.RunSpec) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := s.suite.Run(spec)
+			out := RunOutcome{Err: err}
+			if err == nil {
+				out.Data, out.Err = sim.EncodeResult(res)
+			}
+			mu.Lock()
+			outcomes[spec] = out
+			mu.Unlock()
+		}(spec)
+	}
+	wg.Wait()
+	return outcomes
+}
+
+// validateSpec rejects specs that cannot name a simulation before they
+// reach the batcher, so typos fail with a 400 instead of a 500 plus a
+// wasted workload resolution.
+func validateSpec(spec sim.RunSpec) error {
+	if spec.Workload == "" || spec.Mapping == "" || spec.Mitigation == "" {
+		return fmt.Errorf("spec %+v: workload, mapping, and mitigation are required", spec)
+	}
+	if spec.TRH <= 0 {
+		return fmt.Errorf("spec %s: TRH must be positive", spec)
+	}
+	return nil
+}
+
+// decodeBody strictly decodes one JSON value from the request body.
+// Unknown fields and trailing garbage are errors: a misspelled RunSpec
+// field silently zeroing out would otherwise simulate the wrong config.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return fmt.Errorf("trailing data after JSON body")
+	}
+	return nil
+}
+
+// fail rejects a request and counts it.
+func (s *Server) fail(w http.ResponseWriter, msg string, code int) {
+	s.bump(cHTTPErrors)
+	http.Error(w, msg, code)
+}
+
+// requirePost guards the two mutating endpoints.
+func (s *Server) requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.fail(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+// handleRun serves POST /run: one RunSpec in the body, the encoded Result
+// out. The response bytes are exactly sim.EncodeResult's — the same bytes
+// the store persists — so a client may hash them for cache keys.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if !s.requirePost(w, r) {
+		return
+	}
+	var spec sim.RunSpec
+	if err := decodeBody(r, &spec); err != nil {
+		s.fail(w, "decoding spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := validateSpec(spec); err != nil {
+		s.fail(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.bump(cRequests)
+	ch, err := s.batcher.Submit(spec)
+	if err != nil {
+		s.fail(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	out := <-ch
+	if out.Err != nil {
+		s.fail(w, "run "+spec.String()+": "+out.Err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, out.Data)
+}
+
+// BatchRequest is the POST /batch body.
+type BatchRequest struct {
+	Specs []sim.RunSpec `json:"specs"`
+}
+
+// BatchItem is one spec's outcome in a BatchResponse. Exactly one of
+// Result and Error is set.
+type BatchItem struct {
+	Spec   sim.RunSpec     `json:"spec"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// BatchResponse is the POST /batch reply; Results is index-aligned with
+// the request's Specs.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// handleBatch serves POST /batch. All specs are submitted before any
+// outcome is awaited, so one HTTP request genuinely forms (at least) one
+// batch instead of trickling specs through sequentially. Duplicate specs
+// in one request are legal and each position gets the shared outcome. The
+// response is 200 even when individual specs failed — per-spec errors are
+// in the items — so a partially failed sweep still delivers its results.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.requirePost(w, r) {
+		return
+	}
+	var req BatchRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.fail(w, "decoding batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Specs) == 0 {
+		s.fail(w, "batch has no specs", http.StatusBadRequest)
+		return
+	}
+	for _, spec := range req.Specs {
+		if err := validateSpec(spec); err != nil {
+			s.fail(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	chans := make([]<-chan RunOutcome, len(req.Specs))
+	for i, spec := range req.Specs {
+		s.bump(cRequests)
+		ch, err := s.batcher.Submit(spec)
+		if err != nil {
+			s.fail(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		chans[i] = ch
+	}
+	resp := BatchResponse{Results: make([]BatchItem, len(req.Specs))}
+	for i, ch := range chans {
+		out := <-ch
+		item := BatchItem{Spec: req.Specs[i]}
+		if out.Err != nil {
+			item.Error = out.Err.Error()
+		} else {
+			item.Result = json.RawMessage(out.Data)
+		}
+		resp.Results[i] = item
+	}
+	body, err := json.Marshal(&resp)
+	if err != nil {
+		s.fail(w, "encoding response: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, body)
+}
+
+// handleHealthz answers liveness probes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, []byte(`{"status":"ok"}`))
+}
+
+// writeJSON writes a complete JSON body with its length declared.
+func writeJSON(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	if _, err := w.Write(body); err != nil {
+		return // client went away mid-write; nothing to do
+	}
+}

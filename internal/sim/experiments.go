@@ -54,11 +54,34 @@ type Options struct {
 	// across-run parallelism don't multiply into oversubscription.
 	Workers int
 	// OnRunDone, when non-nil, is called after each fresh (non-cached)
-	// simulation completes, with the spec, its result, and the wall time it
-	// took in nanoseconds. Called from whichever goroutine ran the
-	// simulation; the callback must be safe for concurrent use under
+	// simulation completes successfully, with the spec, its result, and the
+	// wall time it took in nanoseconds. Called from whichever goroutine ran
+	// the simulation; the callback must be safe for concurrent use under
 	// Prefetch. Used by CLIs for progress reporting.
 	OnRunDone func(spec RunSpec, res *Result, wallNs int64)
+	// OnRunErr, when non-nil, is called after each fresh simulation attempt
+	// that fails, with the spec, the error, and the wall time spent before
+	// failing. Together with OnRunDone it accounts for every attempted run
+	// — progress reporting that only listened to OnRunDone used to
+	// undercount sweeps with failures and silently drop them from timing
+	// tables. Same concurrency contract as OnRunDone.
+	OnRunErr func(spec RunSpec, err error, wallNs int64)
+	// Store, when non-nil, adds a persistent tier under the in-memory
+	// cache: Run consults it (by the canonical StoreKey) before
+	// simulating, and persists every fresh successful Result to it.
+	// Corrupt or stale entries surface as misses. The interface is
+	// satisfied by internal/store.Store.
+	Store ResultStore
+	// OnStoreHit, when non-nil, is called when Run serves a spec from the
+	// persistent store instead of simulating. Same concurrency contract as
+	// OnRunDone.
+	OnStoreHit func(spec RunSpec)
+	// OnStoreErr, when non-nil, receives store-tier failures that Run
+	// swallowed to keep the simulation result authoritative: a stored
+	// payload that no longer decodes (served as a miss), or a failed
+	// Put/encode after a successful run (result still returned). Same
+	// concurrency contract as OnRunDone.
+	OnStoreErr func(spec RunSpec, err error)
 }
 
 // withDefaults normalizes options.
@@ -143,7 +166,10 @@ func NewSuite(opts Options) *Suite {
 // Run executes (or returns the cached result of) one configuration. Only
 // successful runs stay cached: a failed entry is dropped so a later Run of
 // the same spec retries instead of replaying a possibly-transient error
-// forever.
+// forever. With Options.Store set, a persistent tier sits under the
+// in-memory cache: a store hit skips the simulation entirely, and every
+// fresh success is persisted so identical runs are never recomputed across
+// process restarts.
 func (s *Suite) Run(spec RunSpec) (*Result, error) {
 	s.mu.Lock()
 	e, ok := s.cache[spec]
@@ -154,28 +180,69 @@ func (s *Suite) Run(spec RunSpec) (*Result, error) {
 	s.mu.Unlock()
 	e.once.Do(func() {
 		start := metrics.WallNow()
+		var key string
+		if s.opts.Store != nil {
+			key = s.storeKey(spec)
+			if data, ok := s.opts.Store.Get(key); ok {
+				res, err := DecodeResult(data)
+				if err == nil {
+					e.res = res
+					if s.opts.OnStoreHit != nil {
+						s.opts.OnStoreHit(spec)
+					}
+					return
+				}
+				// A payload the store verified but we cannot decode means
+				// the result encoding moved without a key-version bump;
+				// treat as a miss, resimulate, and overwrite below.
+				if s.opts.OnStoreErr != nil {
+					s.opts.OnStoreErr(spec, err)
+				}
+			}
+		}
 		profiles, err := s.resolve(spec.Workload, s.opts.Cores, s.opts.Geometry, s.opts.Seed)
 		if err != nil {
 			e.err = err
+		} else {
+			var chk *check.Checker
+			if s.opts.Paranoid {
+				chk = check.New(check.Config{})
+			}
+			e.res, e.err = Run(Config{
+				Geometry:       s.opts.Geometry,
+				TRH:            spec.TRH,
+				MappingName:    spec.Mapping,
+				MitigationName: spec.Mitigation,
+				Workloads:      profiles,
+				InstrPerCore:   s.opts.instrPerCore(),
+				Seed:           s.opts.Seed,
+				LineCensus:     spec.LineCensus,
+				Shards:         s.opts.Shards,
+				Check:          chk,
+			})
+		}
+		if e.err != nil {
+			if s.opts.OnRunErr != nil {
+				s.opts.OnRunErr(spec, e.err, metrics.WallNow()-start)
+			}
 			return
 		}
-		var chk *check.Checker
-		if s.opts.Paranoid {
-			chk = check.New(check.Config{})
+		if s.opts.Store != nil {
+			// Persist before reporting done, so an OnRunDone observer that
+			// restarts the process immediately still finds the entry. A
+			// store failure never fails the run — the simulation result is
+			// authoritative — but it is reported, not swallowed silently.
+			if data, err := EncodeResult(e.res); err != nil {
+				if s.opts.OnStoreErr != nil {
+					s.opts.OnStoreErr(spec, err)
+				}
+			} else if err := s.opts.Store.Put(key, data); err != nil {
+				if s.opts.OnStoreErr != nil {
+					s.opts.OnStoreErr(spec, err)
+				}
+			}
 		}
-		e.res, e.err = Run(Config{
-			Geometry:       s.opts.Geometry,
-			TRH:            spec.TRH,
-			MappingName:    spec.Mapping,
-			MitigationName: spec.Mitigation,
-			Workloads:      profiles,
-			InstrPerCore:   s.opts.instrPerCore(),
-			Seed:           s.opts.Seed,
-			LineCensus:     spec.LineCensus,
-			Shards:         s.opts.Shards,
-			Check:          chk,
-		})
-		if e.err == nil && s.opts.OnRunDone != nil {
+		if s.opts.OnRunDone != nil {
 			s.opts.OnRunDone(spec, e.res, metrics.WallNow()-start)
 		}
 	})

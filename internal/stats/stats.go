@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
@@ -94,6 +95,53 @@ func (h *Histogram) Merge(o *Histogram) {
 	if o.max > h.max {
 		h.max = o.max
 	}
+}
+
+// histogramJSON is the wire form of a Histogram. The fields are unexported
+// in Histogram itself to keep the hot-path representation free to change;
+// serialization goes through this fixed shape so stored results decode
+// across refactors. Buckets are sparse: index/count pairs for the non-zero
+// buckets only, in ascending index order (deterministic — no maps).
+type histogramJSON struct {
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum"`
+	Max     float64  `json:"max"`
+	Bucket  []int    `json:"bucket,omitempty"`
+	Samples []uint64 `json:"samples,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler. The encoding round-trips exactly:
+// bucket counts are integers and sum/max re-encode to the same shortest
+// float64 rendering, so Marshal(Unmarshal(x)) == x byte-for-byte — the
+// property the persistent result store's byte-identity contract needs.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	w := histogramJSON{Count: h.count, Sum: h.sum, Max: h.max}
+	for i, n := range h.buckets {
+		if n != 0 {
+			w.Bucket = append(w.Bucket, i)
+			w.Samples = append(w.Samples, n)
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var w histogramJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if len(w.Bucket) != len(w.Samples) {
+		return fmt.Errorf("stats: histogram bucket/samples length mismatch (%d vs %d)", len(w.Bucket), len(w.Samples))
+	}
+	*h = Histogram{count: w.Count, sum: w.Sum, max: w.Max}
+	for i, b := range w.Bucket {
+		if b < 0 || b >= len(h.buckets) {
+			return fmt.Errorf("stats: histogram bucket index %d out of range", b)
+		}
+		h.buckets[b] = w.Samples[i]
+	}
+	return nil
 }
 
 // String renders a compact summary.

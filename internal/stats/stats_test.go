@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -191,6 +192,52 @@ func TestHistogramRenders(t *testing.T) {
 	var empty Histogram
 	if empty.Bars(10) != "(empty)\n" {
 		t.Fatal("empty bars wrong")
+	}
+}
+
+// TestHistogramJSONRoundTrip pins the serialization contract the result
+// store depends on: Unmarshal(Marshal(h)) restores every statistic, and a
+// second Marshal reproduces the first byte-for-byte.
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	var h Histogram
+	r := rng.NewXoshiro256(11)
+	for i := 0; i < 10_000; i++ {
+		h.Add(math.Exp2(float64(r.Uint64n(20))))
+	}
+	h.Add(0.25) // bucket 0
+	enc, err := json.Marshal(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != h.Count() || back.Mean() != h.Mean() || back.Max() != h.Max() ||
+		back.Percentile(50) != h.Percentile(50) || back.Percentile(99) != h.Percentile(99) {
+		t.Fatalf("round trip lost statistics: %s vs %s", back.String(), h.String())
+	}
+	enc2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(enc) != string(enc2) {
+		t.Fatalf("re-marshal changed bytes:\n 1: %s\n 2: %s", enc, enc2)
+	}
+
+	var empty Histogram
+	enc, err = json.Marshal(&empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(enc) != `{"count":0,"sum":0,"max":0}` {
+		t.Fatalf("empty histogram encoding changed: %s", enc)
+	}
+	if err := json.Unmarshal([]byte(`{"count":1,"bucket":[99],"samples":[1,2]}`), &empty); err == nil {
+		t.Fatal("mismatched bucket/samples lengths must not decode")
+	}
+	if err := json.Unmarshal([]byte(`{"count":1,"bucket":[99],"samples":[1]}`), &empty); err == nil {
+		t.Fatal("out-of-range bucket index must not decode")
 	}
 }
 

@@ -1,0 +1,186 @@
+// Package store is the on-disk content-addressed result store behind the
+// rubixd sweep service: a durable map from canonical run keys (hex SHA-256
+// of a versioned RunSpec+Options preimage, derived by internal/sim) to
+// opaque result payloads. Its contract is deliberately narrow:
+//
+//   - Put is crash-atomic: an entry is written to a temp file in the final
+//     directory and renamed into place, so readers — in this process or a
+//     concurrent one sharing the directory — see either nothing or the
+//     complete entry, never a partial write.
+//   - Get never lies: every entry carries a format header and a SHA-256
+//     checksum of its payload, and anything that fails to verify — a
+//     truncated file, flipped bits, a foreign format version — is reported
+//     as a miss, not an error. A miss costs one recomputation; a corrupt
+//     hit would poison every future read of that key.
+//   - The store never interprets payloads. Encoding and key derivation
+//     belong to the caller (internal/sim), so this package has no
+//     dependency on the simulator and the simulator decides what "the same
+//     run" means.
+//
+// Layout: <dir>/<key[:2]>/<key>, fanned out on the first key byte so a
+// million-entry store does not put a million names in one directory.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// formatHeader is the versioned magic line opening every entry. Bump the
+// version when the envelope layout changes; old entries then verify as
+// misses and are rewritten, which is the upgrade path (recompute, never
+// misread).
+const formatHeader = "rubixstore v1 "
+
+// keyLen is the length of a hex SHA-256 key.
+const keyLen = 2 * sha256.Size
+
+// Store is a content-addressed entry store rooted at one directory. The
+// zero value is not usable; call Open. A Store carries no mutable state, so
+// one value may be shared freely across goroutines: all coordination is the
+// filesystem's atomic rename.
+type Store struct {
+	dir string
+}
+
+// Open returns a Store rooted at dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir reports the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// validKey reports whether key is a well-formed hex SHA-256 digest. Keys
+// become file names, so this check is also the path-traversal guard: only
+// lowercase hex of the exact digest length ever reaches the filesystem.
+func validKey(key string) bool {
+	if len(key) != keyLen {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// path maps a key to its entry file.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key)
+}
+
+// Get returns the payload stored under key, or ok=false on any kind of
+// absence: no entry, an unreadable file, a truncated or corrupted entry, or
+// an entry written by a different format version. Degrading every failure
+// to a miss is the durability contract — the caller recomputes and Puts a
+// fresh entry over the bad one.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if !validKey(key) {
+		return nil, false
+	}
+	raw, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	return decodeEntry(raw)
+}
+
+// decodeEntry verifies one entry envelope and returns its payload.
+func decodeEntry(raw []byte) ([]byte, bool) {
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return nil, false // truncated before the header ended
+	}
+	header, payload := string(raw[:nl]), raw[nl+1:]
+	if !strings.HasPrefix(header, formatHeader) {
+		return nil, false
+	}
+	wantSum := strings.TrimPrefix(header, formatHeader)
+	if len(wantSum) != keyLen {
+		return nil, false
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != wantSum {
+		return nil, false // truncated or corrupted payload
+	}
+	return payload, true
+}
+
+// Put stores payload under key, atomically: the entry is assembled in a
+// temp file in the destination directory and renamed into place, so a crash
+// at any point leaves either the old state or the complete new entry. A
+// concurrent Put of the same key from another process is safe — both write
+// complete temp files and the last rename wins whole.
+func (s *Store) Put(key string, payload []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	dst := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	sum := sha256.Sum256(payload)
+	tmp, err := os.CreateTemp(filepath.Dir(dst), ".put-*")
+	if err != nil {
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	// From here on, any failure removes the temp file: orphaned temp files
+	// are invisible to Get (their names are never valid keys), but there is
+	// no reason to leave them around on a clean error path.
+	_, werr := fmt.Fprintf(tmp, "%s%s\n", formatHeader, hex.EncodeToString(sum[:]))
+	if werr == nil {
+		_, werr = tmp.Write(payload)
+	}
+	if serr := tmp.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), dst)
+	}
+	if werr != nil {
+		if rerr := os.Remove(tmp.Name()); rerr != nil && !os.IsNotExist(rerr) {
+			return fmt.Errorf("store: put %s: %w (temp cleanup: %v)", key, werr, rerr)
+		}
+		return fmt.Errorf("store: put %s: %w", key, werr)
+	}
+	return nil
+}
+
+// Len counts the verifiable entries in the store — a walk that re-validates
+// every envelope, so corrupt files are not counted. Intended for tooling
+// and tests, not hot paths.
+func (s *Store) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !validKey(d.Name()) {
+			return err
+		}
+		raw, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil // unreadable entries are misses, not errors
+		}
+		if _, ok := decodeEntry(raw); ok {
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("store: len: %w", err)
+	}
+	return n, nil
+}
